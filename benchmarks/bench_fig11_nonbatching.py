@@ -1,0 +1,48 @@
+"""Fig. 11: non-batching latency, response rate and effective TFLOPS/W of
+LightTrader vs the GPU-based and FPGA-based systems."""
+
+import pytest
+
+from repro import paperdata
+from repro.bench import bench_duration_s, run_fig11
+
+
+def test_fig11_nonbatching(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"duration_s": max(bench_duration_s(), 300.0)}, rounds=1, iterations=1
+    )
+    record_table("fig11", result.table())
+
+    # (a) latency: mean speed-ups track the published 13.92x / 7.28x.
+    assert result.speedup_vs("gpu") == pytest.approx(
+        paperdata.FIG11_GPU_SPEEDUP, rel=0.05
+    )
+    assert result.speedup_vs("fpga") == pytest.approx(
+        paperdata.FIG11_FPGA_SPEEDUP, rel=0.05
+    )
+    # LightTrader per-model latencies sit on the calibration anchors
+    # (plus the DMA transfer).
+    for model, paper_ns in paperdata.FIG11_LATENCY_NS.items():
+        measured = result.latency_us["lighttrader"][model]
+        assert measured == pytest.approx(paper_ns / 1_000, rel=0.03)
+
+    # (b) response rate: per-model rates within a few points of the paper,
+    # correct ordering, and gains over the baselines in the right band.
+    for model, paper_rate in paperdata.FIG11_RESPONSE_RATE.items():
+        assert abs(result.response_rate["lighttrader"][model] - paper_rate) < 0.04
+    lt = result.response_rate["lighttrader"]
+    assert lt["vanilla_cnn"] > lt["translob"] > lt["deeplob"]
+    assert result.response_gain_vs("gpu") == pytest.approx(
+        paperdata.FIG11_GPU_RESPONSE_GAIN, rel=0.12
+    )
+    assert result.response_gain_vs("fpga") == pytest.approx(
+        paperdata.FIG11_FPGA_RESPONSE_GAIN, rel=0.12
+    )
+
+    # (c) effective TFLOPS/W: 23.6x / 11.6x gains.
+    assert result.efficiency_gain_vs("gpu") == pytest.approx(
+        paperdata.FIG11_GPU_EFFICIENCY_GAIN, rel=0.06
+    )
+    assert result.efficiency_gain_vs("fpga") == pytest.approx(
+        paperdata.FIG11_FPGA_EFFICIENCY_GAIN, rel=0.06
+    )

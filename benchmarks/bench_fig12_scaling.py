@@ -1,0 +1,37 @@
+"""Fig. 12: response rate vs number of accelerators (1..16), sufficient
+and limited power conditions."""
+
+from repro import paperdata
+from repro.bench import bench_duration_s, run_fig12
+
+
+def test_fig12_scaling(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"duration_s": max(bench_duration_s(), 120.0)}, rounds=1, iterations=1
+    )
+    record_table("fig12", result.table())
+
+    for condition in ("sufficient", "limited"):
+        for model, series in result.rates[condition].items():
+            values = [series[n] for n in paperdata.ACCELERATOR_COUNTS]
+            # Rises: multiple accelerators beat one.
+            assert max(values[1:]) > values[0]
+            # Saturates: the final doubling gains little or loses (the
+            # paper's post-saturation degradation).
+            assert values[-1] - values[-2] < 0.02
+
+    # 8-accelerator sufficient-power rates near the quoted 99.5/98.7/95.9%.
+    for model, paper in paperdata.FIG12_RESPONSE_RATE_8ACCEL_SUFFICIENT.items():
+        assert abs(result.rates["sufficient"][model][8] - paper) < 0.04
+
+    # Limited power cannot beat sufficient power at the optimum.
+    for model in result.rates["sufficient"]:
+        best_sufficient = max(result.rates["sufficient"][model].values())
+        best_limited = max(result.rates["limited"][model].values())
+        assert best_limited <= best_sufficient + 0.01
+
+    # Simpler models sustain higher response at every count.
+    for condition in ("sufficient", "limited"):
+        for n in (1, 8):
+            rates = result.rates[condition]
+            assert rates["vanilla_cnn"][n] >= rates["deeplob"][n]

@@ -1,0 +1,19 @@
+"""Fig. 8: response rate vs model complexity (M1 simplest .. M5 heaviest)."""
+
+from repro.bench import bench_duration_s, run_fig8
+
+
+def test_fig8_response_vs_complexity(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"duration_s": max(bench_duration_s(), 120.0)}, rounds=1, iterations=1
+    )
+    record_table("fig8", result.table())
+    rates = list(result.response_rates.values())
+    latencies = list(result.latencies_us.values())
+    # Latency grows monotonically with complexity.
+    assert latencies == sorted(latencies)
+    # Response rate falls with complexity (paper Fig. 8's shape); allow
+    # adjacent ties from simulation noise but require the overall trend.
+    assert rates[0] == max(rates)
+    assert rates[-1] == min(rates)
+    assert rates[0] - rates[-1] > 0.03

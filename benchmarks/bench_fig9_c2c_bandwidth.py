@@ -1,0 +1,33 @@
+"""Fig. 9: C2C interface effective bandwidth vs Interlaken, plus the
+watermark flow-control behaviour of Fig. 9(d)."""
+
+from repro import paperdata
+from repro.accelerator import WatermarkFifo, simulate_flow_control
+from repro.bench import run_fig9
+
+
+def test_fig9_bandwidth_ratio(benchmark, record_table):
+    result = benchmark.pedantic(run_fig9, rounds=3, iterations=1)
+    record_table("fig9", result.table())
+    assert result.ratio == pytest_approx(
+        paperdata.FIG9_C2C_VS_INTERLAKEN_BANDWIDTH, rel=0.05
+    )
+
+
+def test_fig9_watermark_flow_control(benchmark):
+    """The OOB watermark FC sustains a slow consumer with zero overflow."""
+
+    def run():
+        fifo = WatermarkFifo(depth=64, high_watermark=48, low_watermark=16, delay_cycles=4)
+        return simulate_flow_control(2_000, fifo, consumer_period=2)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.overflows == 0
+    assert stats.words_sent == 2_000
+    assert abs(stats.throughput - 0.5) < 0.05  # consumer-bound
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the functional pipeline stages (wall-clock of our
+Python implementations — useful for harness health, not paper numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.lob import MatchingEngine, Order, Side
+from repro.market import generate_session
+from repro.nn import build_model
+from repro.pipeline import NormalizationStats, OffloadEngine
+from repro.protocol import (
+    PacketParser,
+    SecurityDirectory,
+    encode_market_events,
+    encode_udp_frame,
+)
+from repro.lob.events import BookUpdate, UpdateAction
+
+
+@pytest.fixture(scope="module")
+def tape():
+    return generate_session(duration_s=2.0, seed=13)
+
+
+def test_bench_matching_engine(benchmark):
+    def run():
+        engine = MatchingEngine()
+        rng = np.random.default_rng(0)
+        for i in range(2_000):
+            side = Side.BID if rng.uniform() < 0.5 else Side.ASK
+            price = 18_000 + int(rng.integers(-5, 6))
+            engine.submit("ES", Order(side=side, price=price, quantity=3), i)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.book("ES").mid_price is not None
+
+
+def test_bench_sbe_decode(benchmark):
+    directory = SecurityDirectory()
+    directory.register("ESU6")
+    events = [
+        BookUpdate("ESU6", 1, UpdateAction.NEW, Side.BID, 18_000 - i, 5, i)
+        for i in range(8)
+    ]
+    frame = encode_udp_frame(encode_market_events(events, directory, 1))
+    parser = PacketParser(directory)
+
+    packet = benchmark(parser.parse_frame, frame)
+    assert packet is not None
+    assert len(packet.events) == 8
+
+
+def test_bench_offload_engine(benchmark, tape):
+    stats = NormalizationStats.fit(tape)
+
+    def run():
+        engine = OffloadEngine(stats=stats, window=100, store_tensors=True)
+        query = None
+        for i, tick in enumerate(tape[:300]):
+            query = engine.on_tick(tick.snapshot, tick.timestamp, tick.timestamp + 10**9, i) or query
+        return query
+
+    query = benchmark(run)
+    assert query is not None
+    assert query.tensor.shape == (100, 40)
+
+
+@pytest.mark.parametrize("name", ["vanilla_cnn", "translob", "deeplob"])
+def test_bench_model_inference(benchmark, name):
+    model = build_model(name)
+    x = np.random.default_rng(0).standard_normal((1, *model.input_shape)).astype(np.float32)
+    out = benchmark(model.forward, x)
+    assert out.shape == (1, 3)
+
+
+def test_bench_compiler(benchmark):
+    from repro.compiler import compile_model
+    from repro.nn import build_vanilla_cnn
+
+    program = benchmark(lambda: compile_model(build_vanilla_cnn()))
+    assert program.per_sample_cycles > 0

@@ -1,0 +1,14 @@
+"""Table I: single-accelerator specification from the architecture model."""
+
+import pytest
+
+from repro import paperdata
+from repro.bench import run_table1
+
+
+def test_table1_accelerator_spec(benchmark, record_table):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    record_table("table1", result.table())
+    assert abs(result.measured_tflops - paperdata.TABLE1_BF16_TFLOPS) < 1.0
+    assert abs(result.measured_int8_tops - paperdata.TABLE1_INT8_TOPS) < 4.0
+    assert result.measured_max_power_w == pytest.approx(paperdata.TABLE1_MAX_POWER_W)

@@ -1,0 +1,13 @@
+"""Table III: static clock/power configuration regenerated from the
+calibrated power model."""
+
+from repro.bench import run_table3
+
+
+def test_table3_static_dvfs_table(benchmark, record_table):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    record_table("table3", result.table())
+    # 30 cells; the fit reproduces all but (at most) a couple exactly and
+    # never deviates by more than one 100 MHz step.
+    assert result.exact_cells >= 27
+    assert result.total_cells == 30

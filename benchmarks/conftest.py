@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure via
+:mod:`repro.bench.experiments`, times the run with pytest-benchmark,
+prints the rendered table, and writes it to ``benchmarks/results/`` so
+EXPERIMENTS.md can be assembled from the same artifacts.
+
+Workload sizing: REPRO_BENCH_DURATION (seconds of simulated market time,
+default 60) controls simulation length; the calibration targets in
+EXPERIMENTS.md were measured at 300 s.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table(request):
+    """Return a callable that prints + persists a rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,96 @@
+"""Power budget exploration: response rate across the (budget, N) plane.
+
+For a DeepLOB deployment, sweeps the accelerator count under both paper
+power conditions and an intermediate budget, showing where extra silicon
+stops paying for itself once the per-accelerator power share collapses —
+the trade-off behind the paper's Fig. 12 and Table III.
+
+Usage::
+
+    python examples/power_budget_explorer.py
+"""
+
+import dataclasses
+
+from repro import paperdata
+from repro.accelerator.power import DVFSTable, PowerModel, fit_activity_coefficients
+from repro.baselines import lighttrader_profile
+from repro.bench import render_table
+from repro.sim import Backtester, SimConfig, synthetic_workload
+
+COUNTS = (1, 2, 4, 8, 16)
+
+
+def main() -> None:
+    workload = synthetic_workload(duration_s=60.0, seed=11)
+    profile = lighttrader_profile()
+    print(f"Workload: {len(workload)} queries over 60 s; model: deeplob\n")
+
+    # Static clock each share supports (the Table-III mechanism).
+    activity = fit_activity_coefficients()["deeplob"]
+    table = DVFSTable(cap_hz=paperdata.TABLE3_CONSERVATIVE_CAP_HZ)
+    power_model = PowerModel()
+    rows = []
+    for condition, total_w in (("sufficient", 55.0), ("limited", 20.0)):
+        clocks = []
+        rates = []
+        for n in COUNTS:
+            point = power_model.select_max_frequency(table, activity, total_w / n)
+            clocks.append(f"{point.freq_ghz:.1f}" if point else "-")
+            result = Backtester(
+                workload,
+                profile,
+                SimConfig(model="deeplob", n_accelerators=n, power_condition=condition),
+            ).run()
+            rates.append(f"{result.response_rate:.1%}")
+        rows.append([condition, "clock (GHz)"] + clocks)
+        rows.append([condition, "response"] + rates)
+    print(
+        render_table(
+            "DeepLOB response rate and static clock vs accelerator count",
+            ["condition", "metric"] + [f"N={n}" for n in COUNTS],
+            rows,
+            note="more accelerators -> lower per-accel clock; response saturates",
+        )
+    )
+
+    print("\nWith the proactive scheduler (WS+DS), limited power:")
+    rows = []
+    for n in COUNTS:
+        base = Backtester(
+            workload,
+            profile,
+            SimConfig(model="deeplob", n_accelerators=n, power_condition="limited"),
+        ).run()
+        sched = Backtester(
+            workload,
+            profile,
+            SimConfig(
+                model="deeplob",
+                n_accelerators=n,
+                power_condition="limited",
+                workload_scheduling=True,
+                dvfs_scheduling=True,
+            ),
+        ).run()
+        rows.append(
+            [
+                n,
+                f"{base.miss_rate:.2%}",
+                f"{sched.miss_rate:.2%}",
+                f"{(base.miss_rate - sched.miss_rate) / base.miss_rate:+.0%}"
+                if base.miss_rate
+                else "-",
+            ]
+        )
+    print(
+        render_table(
+            "Miss rate: baseline vs WS+DS (limited power)",
+            ["N", "baseline", "ws+ds", "reduction"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

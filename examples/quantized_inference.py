@@ -1,0 +1,86 @@
+"""INT8 quantised inference: the latency-prioritised path of §III-C.
+
+The accelerator's BF16 units keep full network accuracy; the INT8/INT4
+SIMD paths trade precision for a 4x/8x op-rate "for the case that the
+processing latency is prioritized over the accuracy".  This example
+quantifies both sides of that trade on the functional models:
+
+1. Prediction agreement between FP32, BF16, INT8 and INT4 inference.
+2. The response-rate effect of the faster quantised datapath on a
+   single-accelerator deployment (cycles scaled by the precision's op
+   multiplier).
+
+Usage::
+
+    python examples/quantized_inference.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.baselines import benchmark_costs, lighttrader_profile
+from repro.bench import render_table
+from repro.nn import Precision, build_model
+from repro.sim import Backtester, SimConfig, synthetic_workload
+
+
+def agreement(model, x, precision):
+    """Fraction of argmax predictions matching the FP32 reference."""
+    reference = model.forward(x).argmax(axis=-1)
+    quantised = model.forward(x, precision=precision).argmax(axis=-1)
+    return float((reference == quantised).mean())
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    model = build_model("deeplob")
+    x = rng.standard_normal((256, *model.input_shape)).astype(np.float32)
+
+    print("=== 1. Prediction agreement vs FP32 (deeplob, 256 samples) ===")
+    rows = []
+    for precision in (Precision.BF16, Precision.INT8, Precision.INT4):
+        rows.append(
+            [
+                precision.value,
+                f"{precision.ops_multiplier}x",
+                f"{agreement(model, x, precision):.1%}",
+            ]
+        )
+    print(render_table("Quantised datapaths", ["precision", "op rate", "agreement"], rows))
+
+    print("\n=== 2. System effect of the 4x INT8 path (deeplob, 1 accel) ===")
+    workload = synthetic_workload(duration_s=60.0, seed=17)
+    profile = lighttrader_profile()
+    bf16_cost = benchmark_costs()["deeplob"]
+    rows = []
+    for label, multiplier in (("BF16", 1), ("INT8", 4), ("INT4", 8)):
+        cost = dataclasses.replace(
+            bf16_cost,
+            name=f"deeplob_{label.lower()}",
+            cycles_batch1=bf16_cost.cycles_batch1 / multiplier,
+        )
+        profile.register(cost)
+        result = Backtester(
+            workload, profile, SimConfig(model=cost.name, n_accelerators=1)
+        ).run()
+        rows.append(
+            [
+                label,
+                f"{result.p50_latency_us:.0f}",
+                f"{result.response_rate:.1%}",
+                f"{result.mean_power_w:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            "DeepLOB on one accelerator, quantised datapath",
+            ["precision", "p50 t2t (µs)", "response", "avg W"],
+            rows,
+            note="BF16 keeps accuracy; INT paths buy response rate with precision",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

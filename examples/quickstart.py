@@ -1,0 +1,61 @@
+"""Quickstart: simulate a market session and back-test LightTrader on it.
+
+Runs in under a minute:
+
+1. Generate a synthetic CME-like session (agent-based order flow through
+   a real matching engine, Hawkes-bursty arrivals).
+2. Derive a back-test workload (tick timestamps + opportunity deadlines).
+3. Replay it through the LightTrader system model (single accelerator)
+   and through the GPU-based and FPGA-based baselines.
+4. Print tick-to-trade and response-rate comparisons.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.baselines import fpga_profile, gpu_profile, lighttrader_profile
+from repro.market import describe, generate_session, traffic_stats
+from repro.sim import Backtester, OpportunityDeadline, QueryWorkload, SimConfig
+
+
+def main() -> None:
+    print("=== 1. Synthetic market session ===")
+    tape = generate_session(duration_s=20.0, seed=42)
+    print(f"Recorded {len(tape)} ticks over {tape.duration_ns / 1e9:.1f} s")
+    print(describe(traffic_stats(tape.timestamps)))
+    mids = tape.mid_prices()
+    print(f"Mid price: start {mids[0] / 4:.2f}, end {mids[-1] / 4:.2f} index points")
+
+    print("\n=== 2. Back-test workload ===")
+    workload = QueryWorkload.from_tape(tape, OpportunityDeadline())
+    print(f"{len(workload)} queries, {workload.scored_count} scored")
+
+    print("\n=== 3. Replay through the three systems ===")
+    profiles = {
+        "LightTrader (1 accel)": lighttrader_profile(),
+        "GPU-based (V100)": gpu_profile(),
+        "FPGA-based (U250)": fpga_profile(),
+    }
+    for label, profile in profiles.items():
+        result = Backtester(
+            workload, profile, SimConfig(model="deeplob", n_accelerators=1)
+        ).run()
+        print(f"{label:24s} {result.describe()}")
+
+    print("\n=== 4. LightTrader with the proactive scheduler ===")
+    result = Backtester(
+        workload,
+        lighttrader_profile(),
+        SimConfig(
+            model="deeplob",
+            n_accelerators=1,
+            workload_scheduling=True,
+            dvfs_scheduling=True,
+        ),
+    ).run()
+    print(f"{'LightTrader (WS+DS)':24s} {result.describe()}")
+
+
+if __name__ == "__main__":
+    main()

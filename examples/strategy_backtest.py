@@ -1,0 +1,97 @@
+"""End-to-end AI trading strategy: train, predict, trade, account P&L.
+
+The full functional path the LightTrader hardware accelerates:
+
+1. Generate a training session and fit a movement classifier on
+   DeepLOB-style labels (the functional stand-in for a trained DNN —
+   system metrics in the paper are weight-independent, but this example
+   shows the strategy loop end to end).
+2. Replay a fresh session tick by tick: offload engine builds the input
+   map, the classifier predicts, the trading engine risk-checks and
+   emits iLink3 orders, fills are assumed at the touch and accounted.
+3. Report accuracy vs the majority-class baseline and the P&L summary.
+
+Usage::
+
+    python examples/strategy_backtest.py
+"""
+
+import numpy as np
+
+from repro.lob import Side
+from repro.market import generate_session
+from repro.pipeline import Prediction, RiskLimits, TradingEngine
+from repro.protocol import ILink3Order
+from repro.strategy import PnLTracker, SoftmaxClassifier, build_dataset
+
+WINDOW = 50
+HORIZON = 20
+
+
+def main() -> None:
+    print("=== 1. Train a movement classifier ===")
+    train_tape = generate_session(duration_s=25.0, seed=7)
+    dataset = build_dataset(train_tape, window=WINDOW, horizon=HORIZON)
+    train, test = dataset.split(0.7)
+    print(
+        f"{len(dataset)} samples, class balance (down/flat/up): "
+        f"{np.round(dataset.class_balance(), 2)}"
+    )
+    classifier = SoftmaxClassifier(seed=0)
+    report = classifier.fit(train, epochs=40, learning_rate=0.1, test=test)
+    print(
+        f"train acc {report.train_accuracy:.1%}, test acc {report.test_accuracy:.1%} "
+        f"(majority-class baseline {report.baseline_accuracy:.1%})"
+    )
+
+    print("\n=== 2. Trade a fresh session ===")
+    live_tape = generate_session(duration_s=25.0, seed=99)
+    live = build_dataset(live_tape, window=WINDOW, horizon=HORIZON)
+    probabilities = classifier.predict_proba(live.features)
+
+    engine = TradingEngine(limits=RiskLimits(min_confidence=0.50, max_position=10))
+    pnl = PnLTracker()  # pessimistic: marketable IOC fills at the touch
+    pnl_mid = PnLTracker(fee_per_contract=0.0)  # optimistic: fills at mid
+    orders = 0
+    for probs, tick_index in zip(probabilities, live.indices):
+        tick = live_tape[int(tick_index)]
+        decision = engine.on_inference(probs, tick.snapshot, tick.timestamp)
+        if not decision.acted:
+            continue
+        orders += 1
+        order = ILink3Order.decode(decision.encoded)
+        pnl.on_fill(order.side, order.price, order.order_qty)
+        pnl_mid.on_fill(order.side, round(tick.mid_price), order.order_qty)
+        pnl.mark(tick.mid_price)
+
+    final_mid = next(
+        tick.mid_price for tick in reversed(live_tape) if tick.mid_price is not None
+    )
+    # Flatten any residual inventory at the final mid.
+    for tracker in (pnl, pnl_mid):
+        if tracker.position != 0:
+            side = Side.ASK if tracker.position > 0 else Side.BID
+            tracker.on_fill(side, round(final_mid), abs(tracker.position))
+
+    print(f"orders sent: {orders}")
+    print(
+        "risk suppressions:",
+        f"stationary={engine.counters.stationary}",
+        f"low_confidence={engine.counters.low_confidence}",
+        f"position_limit={engine.counters.position_limit}",
+    )
+    print("\n=== 3. P&L report ===")
+    print("fills at the touch (pays the spread + fees):")
+    print("  " + pnl.report(final_mid).describe())
+    print("fills at the mid (execution-cost-free counterfactual):")
+    print("  " + pnl_mid.report(final_mid).describe())
+    print(
+        "\nThe gap between the two lines is execution cost: the classifier's"
+        "\nedge is real (accuracy well above the class baseline) but crossing"
+        "\nthe spread on every signal consumes it - which is precisely why"
+        "\nHFT systems fight for microseconds of tick-to-trade latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

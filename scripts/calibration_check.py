@@ -1,0 +1,63 @@
+"""Calibration checker: evaluate the default workload against the paper's
+Fig-11 response-rate targets.
+
+Run after touching the traffic spec, the deadline policy, or any latency
+profile:
+
+    python scripts/calibration_check.py [duration_s] [seed ...]
+"""
+
+import statistics
+import sys
+
+from repro.baselines import fpga_profile, gpu_profile, lighttrader_profile
+from repro.sim import Backtester, SimConfig, synthetic_workload
+
+TARGETS = {
+    "lt1": {"vanilla_cnn": 0.942, "translob": 0.919, "deeplob": 0.871},
+    "lt8": {"vanilla_cnn": 0.995, "translob": 0.987, "deeplob": 0.959},
+    "gpu_avg": 0.695,
+    "fpga_avg": 0.759,
+}
+MODELS = tuple(TARGETS["lt1"])
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    seeds = [int(x) for x in sys.argv[2:]] or [1, 2]
+    lt = lighttrader_profile()
+    lt1 = {m: [] for m in MODELS}
+    lt8 = {m: [] for m in MODELS}
+    gpu_avgs, fpga_avgs = [], []
+    for seed in seeds:
+        wl = synthetic_workload(duration_s=duration, seed=seed)
+        for m in MODELS:
+            lt1[m].append(Backtester(wl, lt, SimConfig(model=m)).run().response_rate)
+            lt8[m].append(
+                Backtester(wl, lt, SimConfig(model=m, n_accelerators=8)).run().response_rate
+            )
+        gpu_avgs.append(
+            statistics.mean(
+                Backtester(wl, gpu_profile(), SimConfig(model=m)).run().response_rate
+                for m in MODELS
+            )
+        )
+        fpga_avgs.append(
+            statistics.mean(
+                Backtester(wl, fpga_profile(), SimConfig(model=m)).run().response_rate
+                for m in MODELS
+            )
+        )
+    print(f"duration={duration}s seeds={seeds}")
+    for m in MODELS:
+        print(
+            f"  LT x1 {m:12s} {statistics.mean(lt1[m]):.3f} (target {TARGETS['lt1'][m]:.3f})   "
+            f"LT x8 {statistics.mean(lt8[m]):.3f} (target {TARGETS['lt8'][m]:.3f})"
+        )
+    print(f"  GPU avg  {statistics.mean(gpu_avgs):.3f} (target {TARGETS['gpu_avg']:.3f})")
+    print(f"  FPGA avg {statistics.mean(fpga_avgs):.3f} (target {TARGETS['fpga_avg']:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

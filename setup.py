@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e .` requires `wheel` for PEP 517 editable installs; in a
+fully offline environment run `python setup.py develop` instead, which is
+equivalent for this pure-Python package.
+"""
+from setuptools import setup
+
+setup()

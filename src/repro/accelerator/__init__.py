@@ -1,0 +1,61 @@
+"""CGRA accelerator models: config, power/DVFS, devices, links, interpreter."""
+
+from repro.accelerator.c2c import (
+    C2CLinkConfig,
+    FlowControlStats,
+    InterlakenLinkConfig,
+    WatermarkFifo,
+    bandwidth_ratio,
+    simulate_flow_control,
+)
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.accelerator.device import (
+    DVFS_SWITCH_NS,
+    Accelerator,
+    AcceleratorCluster,
+    IssueRecord,
+)
+from repro.accelerator.fmt import (
+    FmtResult,
+    flatten_hw,
+    lower_conv2d,
+    shuffle_channels,
+    transpose2d,
+)
+from repro.accelerator.interpreter import CGRAInterpreter, InterpreterStats
+from repro.accelerator.power import (
+    K_FULL_UTILISATION,
+    DVFSTable,
+    OperatingPoint,
+    PowerModel,
+    build_static_table,
+    fit_activity_coefficients,
+)
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorCluster",
+    "AcceleratorConfig",
+    "C2CLinkConfig",
+    "CGRAInterpreter",
+    "DEFAULT_CONFIG",
+    "DVFSTable",
+    "DVFS_SWITCH_NS",
+    "FlowControlStats",
+    "FmtResult",
+    "InterlakenLinkConfig",
+    "InterpreterStats",
+    "IssueRecord",
+    "K_FULL_UTILISATION",
+    "OperatingPoint",
+    "PowerModel",
+    "WatermarkFifo",
+    "bandwidth_ratio",
+    "build_static_table",
+    "fit_activity_coefficients",
+    "flatten_hw",
+    "lower_conv2d",
+    "shuffle_channels",
+    "simulate_flow_control",
+    "transpose2d",
+]

@@ -1,0 +1,93 @@
+"""Static configuration of the CGRA AI accelerator (paper Table I, §III-C).
+
+The numbers here pin down the accelerator the compiler targets and the
+power model describes: a 16×16 coarse-grained reconfigurable array whose
+BF16 SIMD lanes deliver 16 TFLOPS at the 2.0 GHz nominal clock (and
+64 TOPS INT8 via the 4× low-precision path), packaged in a 7 nm die that
+runs 0.8–2.2 GHz over 0.68–1.16 V and tops out at 10.8 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AcceleratorError
+from repro.units import GHZ
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Architecture parameters of one AI accelerator.
+
+    Attributes:
+        grid_rows / grid_cols: Tensor-engine PE grid dimensions.
+        epe_cols: Rightmost columns populated with extended PEs (EPEs)
+            that own the special-function units (exp/log/shift).
+        simd_width: BF16 MACs per PE per cycle.
+        dmem_bytes: Per-accelerator data memory (weights + activations).
+        imem_bytes: Instruction memory per accelerator.
+        c2c_bytes_per_cycle: Chip-to-chip payload bandwidth per core clock.
+        min_freq_hz / max_freq_hz: DVFS clock envelope.
+        min_voltage / max_voltage: DVFS voltage envelope.
+        max_power_w: Package power ceiling.
+        nominal_freq_hz: Clock at which the headline TFLOPS is quoted.
+    """
+
+    grid_rows: int = 16
+    grid_cols: int = 16
+    epe_cols: int = 2
+    simd_width: int = 16
+    dmem_bytes: int = 8 * 1024 * 1024
+    imem_bytes: int = 64 * 1024
+    c2c_bytes_per_cycle: int = 32
+    min_freq_hz: float = 0.8 * GHZ
+    max_freq_hz: float = 2.2 * GHZ
+    min_voltage: float = 0.68
+    max_voltage: float = 1.16
+    max_power_w: float = 10.8
+    nominal_freq_hz: float = 2.0 * GHZ
+
+    def __post_init__(self) -> None:
+        if self.epe_cols > self.grid_cols:
+            raise AcceleratorError("epe_cols cannot exceed grid_cols")
+        if self.min_freq_hz >= self.max_freq_hz:
+            raise AcceleratorError("min_freq must be below max_freq")
+        if self.min_voltage >= self.max_voltage:
+            raise AcceleratorError("min_voltage must be below max_voltage")
+
+    @property
+    def n_pes(self) -> int:
+        """Total processing elements in the tensor engine."""
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def n_epes(self) -> int:
+        """Extended PEs (special-function capable)."""
+        return self.grid_rows * self.epe_cols
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak BF16 multiply-accumulates per clock across the grid."""
+        return self.n_pes * self.simd_width
+
+    def peak_tflops(self, freq_hz: float | None = None) -> float:
+        """Peak BF16 TFLOPS at ``freq_hz`` (default: nominal clock)."""
+        freq = freq_hz if freq_hz is not None else self.nominal_freq_hz
+        return 2.0 * self.macs_per_cycle * freq / 1e12
+
+    def peak_int8_tops(self, freq_hz: float | None = None) -> float:
+        """Peak INT8 TOPS (4× the BF16 MAC rate)."""
+        return 4.0 * self.peak_tflops(freq_hz)
+
+    def voltage_at(self, freq_hz: float) -> float:
+        """Supply voltage required for ``freq_hz`` (linear V–f relation)."""
+        if not self.min_freq_hz <= freq_hz <= self.max_freq_hz:
+            raise AcceleratorError(
+                f"frequency {freq_hz / GHZ:.2f} GHz outside "
+                f"[{self.min_freq_hz / GHZ:.1f}, {self.max_freq_hz / GHZ:.1f}] GHz"
+            )
+        span = (freq_hz - self.min_freq_hz) / (self.max_freq_hz - self.min_freq_hz)
+        return self.min_voltage + span * (self.max_voltage - self.min_voltage)
+
+
+DEFAULT_CONFIG = AcceleratorConfig()

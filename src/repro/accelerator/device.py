@@ -1,0 +1,225 @@
+"""Accelerator device and multi-accelerator cluster timing models.
+
+An :class:`Accelerator` is a time-stamped state machine: it is idle or
+busy until a completion time, runs at a DVFS operating point (changing
+the point costs a PMIC/PLL relock delay — the "power switching delay"
+the paper warns makes frequent DVFS hazardous), and reports its
+instantaneous power draw.  The :class:`AcceleratorCluster` aggregates N
+devices behind the shared card power budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
+from repro.errors import AcceleratorError
+from repro.units import us_to_ns
+
+# PMIC reconfiguration + PLL relock time for a DVFS transition.
+DVFS_SWITCH_NS = us_to_ns(4.0)
+
+
+@dataclass
+class IssueRecord:
+    """One batch issued to an accelerator (for traces and power audits)."""
+
+    accel_id: int
+    issue_time: int
+    completion_time: int
+    batch_size: int
+    point: OperatingPoint
+    activity: float
+    power_w: float
+    deadline_ns: int | None = None
+
+
+class Accelerator:
+    """Timing/power state machine for one AI accelerator."""
+
+    def __init__(
+        self,
+        accel_id: int,
+        table: DVFSTable,
+        power_model: PowerModel,
+        initial_point: OperatingPoint | None = None,
+    ) -> None:
+        self.accel_id = accel_id
+        self.table = table
+        self.power_model = power_model
+        self.point = initial_point or table.min_point
+        self.busy_until = 0
+        self.available_at = 0  # includes any in-flight DVFS switch
+        self.current: IssueRecord | None = None
+        self.completed: int = 0
+
+    def is_idle(self, now: int) -> bool:
+        """True when no batch is in flight at time ``now``."""
+        return now >= self.busy_until
+
+    def ready_time(self, now: int) -> int:
+        """Earliest time a new batch could start (busy + switch barriers)."""
+        return max(now, self.busy_until, self.available_at)
+
+    def set_point(self, point: OperatingPoint, now: int) -> int:
+        """Change the DVFS operating point.
+
+        Returns the time the new point is stable.  Changing the point of
+        a busy accelerator is rejected — the hardware applies DVFS
+        between batches only.
+        """
+        if not self.is_idle(now):
+            raise AcceleratorError(
+                f"accel {self.accel_id}: cannot change DVFS point while busy"
+            )
+        if point == self.point:
+            return now
+        self.point = point
+        self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
+        return self.available_at
+
+    def issue(
+        self,
+        now: int,
+        duration_ns: int,
+        batch_size: int,
+        activity: float,
+        deadline_ns: int | None = None,
+    ) -> IssueRecord:
+        """Start a batch at ``now`` lasting ``duration_ns``.
+
+        ``deadline_ns`` (the oldest query's t_avail boundary) rides along
+        so the DVFS scheduler knows how far the batch may be slowed.
+        """
+        start = self.ready_time(now)
+        if start > now:
+            raise AcceleratorError(
+                f"accel {self.accel_id}: issue at {now} before ready time {start}"
+            )
+        if duration_ns <= 0:
+            raise AcceleratorError(f"duration must be positive, got {duration_ns}")
+        record = IssueRecord(
+            accel_id=self.accel_id,
+            issue_time=now,
+            completion_time=now + duration_ns,
+            batch_size=batch_size,
+            point=self.point,
+            activity=activity,
+            power_w=self.power_model.power_w(self.point, activity, batch_size),
+            deadline_ns=deadline_ns,
+        )
+        self.busy_until = record.completion_time
+        self.current = record
+        return record
+
+    def rescale_inflight(
+        self, now: int, point: OperatingPoint, new_remaining_ns: int
+    ) -> IssueRecord:
+        """Apply a DVFS change to the batch currently in flight.
+
+        The DVFS scheduler (Algorithm 2) may speed up or slow down a busy
+        accelerator; the caller computes the remaining work's duration at
+        the new point, and the switch delay is charged on top.  Returns
+        the updated in-flight record.
+        """
+        if self.current is None or self.is_idle(now):
+            raise AcceleratorError(f"accel {self.accel_id}: no batch in flight")
+        if new_remaining_ns < 0:
+            raise AcceleratorError("remaining time cannot be negative")
+        switch = DVFS_SWITCH_NS if point != self.point else 0
+        self.point = point
+        record = self.current
+        record = IssueRecord(
+            accel_id=record.accel_id,
+            issue_time=record.issue_time,
+            completion_time=now + switch + new_remaining_ns,
+            batch_size=record.batch_size,
+            point=point,
+            activity=record.activity,
+            power_w=self.power_model.power_w(point, record.activity, record.batch_size),
+            deadline_ns=record.deadline_ns,
+        )
+        self.current = record
+        self.busy_until = record.completion_time
+        return record
+
+    def finish(self, now: int) -> IssueRecord:
+        """Mark the in-flight batch complete (must be at/after completion)."""
+        if self.current is None:
+            raise AcceleratorError(f"accel {self.accel_id}: nothing to finish")
+        if now < self.current.completion_time:
+            raise AcceleratorError(
+                f"accel {self.accel_id}: finish at {now} before completion "
+                f"{self.current.completion_time}"
+            )
+        record = self.current
+        self.current = None
+        self.completed += 1
+        return record
+
+    def power_now(self, now: int) -> float:
+        """Instantaneous power draw at ``now``."""
+        if self.current is not None and now < self.current.completion_time:
+            return self.current.power_w
+        return self.power_model.idle_power_w(self.point)
+
+
+@dataclass
+class AcceleratorCluster:
+    """N accelerators behind one shared accelerator power budget."""
+
+    n_accelerators: int
+    table: DVFSTable
+    power_model: PowerModel
+    budget_w: float
+    config: AcceleratorConfig = DEFAULT_CONFIG
+    devices: list[Accelerator] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_accelerators <= 0:
+            raise AcceleratorError("cluster needs at least one accelerator")
+        if self.budget_w <= 0:
+            raise AcceleratorError("power budget must be positive")
+        self.devices = [
+            Accelerator(i, self.table, self.power_model)
+            for i in range(self.n_accelerators)
+        ]
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __len__(self) -> int:
+        return self.n_accelerators
+
+    @property
+    def per_accel_budget_w(self) -> float:
+        """Even static split of the budget (the no-DS baseline policy)."""
+        return self.budget_w / self.n_accelerators
+
+    def idle_devices(self, now: int) -> list[Accelerator]:
+        """Devices able to accept a new batch at ``now``."""
+        return [d for d in self.devices if d.ready_time(now) <= now]
+
+    def busy_devices(self, now: int) -> list[Accelerator]:
+        """Devices with a batch in flight at ``now``."""
+        return [d for d in self.devices if not d.is_idle(now)]
+
+    def next_completion(self, now: int) -> int | None:
+        """Earliest in-flight completion time, or None if all idle."""
+        times = [d.busy_until for d in self.devices if not d.is_idle(now)]
+        return min(times) if times else None
+
+    def total_power(self, now: int) -> float:
+        """Instantaneous cluster draw."""
+        return sum(d.power_now(now) for d in self.devices)
+
+    def headroom(self, now: int) -> float:
+        """Unused budget at ``now`` (never negative by scheduler contract)."""
+        return self.budget_w - self.total_power(now)
+
+    def set_all_points(self, point: OperatingPoint, now: int) -> None:
+        """Program every idle device to ``point`` (busy devices are skipped)."""
+        for device in self.devices:
+            if device.is_idle(now):
+                device.set_point(point, now)

@@ -1,0 +1,99 @@
+"""Data formatter (FMT): functional layout transformations.
+
+The FMT sits between the LSUs and the tensor engine and reshapes
+streaming data — lowering (im2col), transposing and shuffling — with
+RISC-style programs whose partial results stream to the PEs (paper
+§III-C, Fig. 7).  Here each transformation is implemented functionally
+plus a cycle estimate at the FMT's streaming throughput, so the compiler
+and tests share one definition of what the hardware produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AcceleratorError
+
+# Streaming throughput of the formatter datapath.
+FMT_BYTES_PER_CYCLE = 64
+
+
+@dataclass(frozen=True)
+class FmtResult:
+    """A transformed tensor plus the cycles the FMT spends producing it."""
+
+    data: np.ndarray
+    cycles: int
+
+
+def _cycles_for(*arrays: np.ndarray) -> int:
+    total_bytes = sum(a.nbytes for a in arrays)
+    return -(-total_bytes // FMT_BYTES_PER_CYCLE)
+
+
+def lower_conv2d(
+    x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int] = (1, 1)
+) -> FmtResult:
+    """Lower a ``(C, H, W)`` tensor to the im2col matrix for a conv kernel.
+
+    Output shape: ``(C*kh*kw, out_h*out_w)`` — the layout the tensor
+    engine's MAC grid consumes directly.
+    """
+    if x.ndim != 3:
+        raise AcceleratorError(f"lower_conv2d expects (C, H, W), got {x.shape}")
+    c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    if h < kh or w < kw:
+        raise AcceleratorError(f"kernel {kernel} larger than input {x.shape}")
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols = np.empty((c * kh * kw, out_h * out_w), dtype=x.dtype)
+    idx = 0
+    for ci in range(c):
+        for ki in range(kh):
+            for kj in range(kw):
+                patch = x[ci, ki : ki + out_h * sh : sh, kj : kj + out_w * sw : sw]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return FmtResult(data=cols, cycles=_cycles_for(x, cols))
+
+
+def transpose2d(x: np.ndarray) -> FmtResult:
+    """Transpose a 2-D tile (weight/activation layout flip)."""
+    if x.ndim != 2:
+        raise AcceleratorError(f"transpose2d expects 2-D, got {x.shape}")
+    out = np.ascontiguousarray(x.T)
+    return FmtResult(data=out, cycles=_cycles_for(x))
+
+
+def shuffle_channels(x: np.ndarray, permutation: np.ndarray) -> FmtResult:
+    """Permute the leading (channel) axis by ``permutation``."""
+    permutation = np.asarray(permutation)
+    if sorted(permutation.tolist()) != list(range(x.shape[0])):
+        raise AcceleratorError(
+            f"permutation {permutation.tolist()} is not a permutation of "
+            f"0..{x.shape[0] - 1}"
+        )
+    return FmtResult(data=x[permutation], cycles=_cycles_for(x))
+
+
+def flatten_hw(x: np.ndarray, axis_order: str = "chw") -> FmtResult:
+    """Flatten a ``(C, H, W)`` tensor to a vector in the requested order.
+
+    ``axis_order`` selects which dimension varies fastest, matching the
+    paper's H/W/C flattening options for different kernels (Fig. 7).
+    """
+    if x.ndim != 3:
+        raise AcceleratorError(f"flatten_hw expects (C, H, W), got {x.shape}")
+    orders = {
+        "chw": (0, 1, 2),
+        "hwc": (1, 2, 0),
+        "whc": (2, 1, 0),
+    }
+    if axis_order not in orders:
+        raise AcceleratorError(f"unknown axis order {axis_order!r}")
+    out = np.ascontiguousarray(x.transpose(orders[axis_order])).reshape(-1)
+    return FmtResult(data=out, cycles=_cycles_for(x))

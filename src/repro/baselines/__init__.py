@@ -1,0 +1,31 @@
+"""System profiles and model cost calibration."""
+
+from repro.baselines.modelcosts import (
+    ModelCost,
+    benchmark_costs,
+    cost_from_model,
+    cycle_scale_kappa,
+)
+from repro.baselines.profiles import (
+    FPGA_RATIO,
+    GPU_RATIO,
+    LightTraderProfile,
+    SystemProfile,
+    fpga_profile,
+    gpu_profile,
+    lighttrader_profile,
+)
+
+__all__ = [
+    "FPGA_RATIO",
+    "GPU_RATIO",
+    "LightTraderProfile",
+    "ModelCost",
+    "SystemProfile",
+    "benchmark_costs",
+    "cost_from_model",
+    "cycle_scale_kappa",
+    "fpga_profile",
+    "gpu_profile",
+    "lighttrader_profile",
+]

@@ -1,0 +1,26 @@
+"""CGRA compiler: DFG extraction, hyperblocks, mapping, codegen, timing."""
+
+from repro.compiler.codegen import BlockProgram, generate_block_program
+from repro.compiler.dfg import DataflowGraph, DFGNode, OpKind, build_dfg
+from repro.compiler.hyperblock import Hyperblock, partition
+from repro.compiler.isa import InstructionRun, InstructionStream, Opcode
+from repro.compiler.mapping import BlockMapping, map_block
+from repro.compiler.program import CompiledProgram, compile_model
+
+__all__ = [
+    "BlockMapping",
+    "BlockProgram",
+    "CompiledProgram",
+    "DFGNode",
+    "DataflowGraph",
+    "Hyperblock",
+    "InstructionRun",
+    "InstructionStream",
+    "OpKind",
+    "Opcode",
+    "build_dfg",
+    "compile_model",
+    "generate_block_program",
+    "map_block",
+    "partition",
+]

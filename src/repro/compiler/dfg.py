@@ -1,0 +1,265 @@
+"""Dataflow-graph extraction from sequential models.
+
+The in-house compiler's first stage (paper §III-C, "the AI accelerator
+utilizes the spatio-temporal parallelism in the hyperblocks identified by
+the data flow graph (DFG) of the target operations"): every layer expands
+into one or more :class:`DFGNode` operations — tensor-engine matmul work,
+EPE element-wise work, sequential recurrences — connected in a
+:class:`networkx.DiGraph` whose topology the hyperblock partitioner
+consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import CompileError
+from repro.nn.layers.attention import MultiHeadSelfAttention, TransformerBlock
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import CausalConv1D, Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.inception import InceptionModule
+from repro.nn.layers.recurrent import LSTM
+from repro.nn.model import Model
+
+
+class OpKind(enum.Enum):
+    """Classes of DFG operations, by which engine executes them."""
+
+    MATMUL = "matmul"  # tensor engine (PE MAC arrays)
+    ELEMENTWISE = "elementwise"  # PE ALUs
+    SPECIAL = "special"  # EPE special functions (exp, tanh, softmax...)
+    REDUCE = "reduce"  # pooling / reductions
+    RESHAPE = "reshape"  # FMT data formatter work
+    RECURRENT_STEP = "recurrent_step"  # sequential matmul steps (LSTM)
+
+
+@dataclass
+class DFGNode:
+    """One operation in the dataflow graph.
+
+    Attributes:
+        name: Unique node name (layer name plus an op suffix).
+        kind: Which engine executes it.
+        macs: Multiply-accumulates for one sample.
+        aux_ops: Element-wise / special-function op count for one sample.
+        input_bytes / output_bytes: Activation traffic (BF16: 2 B/element).
+        weight_bytes: Parameter bytes this op must have resident in DMEM.
+        sequential_steps: >1 for inherently serial ops (the LSTM's
+            timestep loop); limits intra-op parallelism.
+    """
+
+    name: str
+    kind: OpKind
+    macs: int = 0
+    aux_ops: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    weight_bytes: int = 0
+    sequential_steps: int = 1
+
+
+@dataclass
+class DataflowGraph:
+    """The compiler's IR: nodes in topological order plus the nx graph."""
+
+    model_name: str
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_node(self, node: DFGNode, predecessors: list[str]) -> DFGNode:
+        """Insert ``node`` depending on ``predecessors`` (by name)."""
+        if node.name in self.graph:
+            raise CompileError(f"duplicate DFG node {node.name}")
+        self.graph.add_node(node.name, op=node)
+        for pred in predecessors:
+            if pred not in self.graph:
+                raise CompileError(f"unknown predecessor {pred} for {node.name}")
+            self.graph.add_edge(pred, node.name)
+        return node
+
+    def node(self, name: str) -> DFGNode:
+        """Look up a node by name."""
+        return self.graph.nodes[name]["op"]
+
+    def topological_nodes(self) -> list[DFGNode]:
+        """All nodes in a deterministic topological order."""
+        order = list(nx.lexicographical_topological_sort(self.graph))
+        return [self.node(name) for name in order]
+
+    def total_macs(self) -> int:
+        """Sum of MACs across the graph (one sample)."""
+        return sum(n.macs for n in self.topological_nodes())
+
+    def total_weight_bytes(self) -> int:
+        """Sum of parameter bytes across the graph."""
+        return sum(n.weight_bytes for n in self.topological_nodes())
+
+    def critical_path_length(self) -> int:
+        """Number of nodes on the longest dependency chain."""
+        return nx.dag_longest_path_length(self.graph) + 1 if len(self.graph) else 0
+
+
+def _elem_bytes(shape: tuple[int, ...] | None) -> int:
+    """BF16 activation bytes for a per-sample shape."""
+    if shape is None:
+        return 0
+    return 2 * int(np.prod(shape))
+
+
+def build_dfg(model: Model) -> DataflowGraph:
+    """Lower a built :class:`Model` into a :class:`DataflowGraph`."""
+    dfg = DataflowGraph(model_name=model.name)
+    source = DFGNode(
+        name="input",
+        kind=OpKind.RESHAPE,
+        output_bytes=_elem_bytes(model.input_shape),
+    )
+    dfg.add_node(source, [])
+    frontier = ["input"]
+    for index, layer in enumerate(model.layers):
+        frontier = _lower_layer(dfg, layer, f"{index:02d}.{layer.name}", frontier)
+    return dfg
+
+
+def _lower_layer(
+    dfg: DataflowGraph, layer: Layer, prefix: str, frontier: list[str]
+) -> list[str]:
+    """Expand ``layer`` into DFG nodes; returns the new frontier names."""
+    in_bytes = _elem_bytes(layer.input_shape)
+    out_bytes = _elem_bytes(layer.output_shape)
+
+    if isinstance(layer, (Conv2D, CausalConv1D, Dense)):
+        node = dfg.add_node(
+            DFGNode(
+                name=prefix,
+                kind=OpKind.MATMUL,
+                macs=layer.macs(),
+                aux_ops=layer.aux_ops(),
+                input_bytes=in_bytes,
+                output_bytes=out_bytes,
+                weight_bytes=layer.weight_bytes(),
+            ),
+            frontier,
+        )
+        return [node.name]
+
+    if isinstance(layer, LSTM):
+        timesteps = layer.input_shape[0]
+        node = dfg.add_node(
+            DFGNode(
+                name=prefix,
+                kind=OpKind.RECURRENT_STEP,
+                macs=layer.macs(),
+                aux_ops=layer.aux_ops(),
+                input_bytes=in_bytes,
+                output_bytes=out_bytes,
+                weight_bytes=layer.weight_bytes(),
+                sequential_steps=timesteps,
+            ),
+            frontier,
+        )
+        return [node.name]
+
+    if isinstance(layer, InceptionModule):
+        branch_names = []
+        for b, branch in enumerate(layer.branches):
+            prev = frontier
+            for s, sub in enumerate(branch):
+                prev = _lower_layer(dfg, sub, f"{prefix}.b{b}.{s}.{sub.name}", prev)
+            branch_names.extend(prev)
+        concat = dfg.add_node(
+            DFGNode(
+                name=f"{prefix}.concat",
+                kind=OpKind.RESHAPE,
+                input_bytes=out_bytes,
+                output_bytes=out_bytes,
+            ),
+            branch_names,
+        )
+        return [concat.name]
+
+    if isinstance(layer, TransformerBlock):
+        attn: MultiHeadSelfAttention = layer._attention
+        norm1 = dfg.add_node(
+            DFGNode(
+                name=f"{prefix}.norm1",
+                kind=OpKind.SPECIAL,
+                aux_ops=layer._norm1.aux_ops(),
+                input_bytes=in_bytes,
+                output_bytes=in_bytes,
+            ),
+            frontier,
+        )
+        attention = dfg.add_node(
+            DFGNode(
+                name=f"{prefix}.attn",
+                kind=OpKind.MATMUL,
+                macs=attn.macs(),
+                aux_ops=attn.aux_ops(),
+                input_bytes=in_bytes,
+                output_bytes=in_bytes,
+                weight_bytes=attn.weight_bytes(),
+            ),
+            [norm1.name],
+        )
+        norm2 = dfg.add_node(
+            DFGNode(
+                name=f"{prefix}.norm2",
+                kind=OpKind.SPECIAL,
+                aux_ops=layer._norm2.aux_ops(),
+                input_bytes=in_bytes,
+                output_bytes=in_bytes,
+            ),
+            [attention.name],
+        )
+        dim = layer.input_shape[-1]
+        timesteps = layer.input_shape[0]
+        hidden = dim * layer.mlp_ratio
+        mlp = dfg.add_node(
+            DFGNode(
+                name=f"{prefix}.mlp",
+                kind=OpKind.MATMUL,
+                macs=2 * timesteps * dim * hidden,
+                aux_ops=3 * timesteps * dim,
+                input_bytes=in_bytes,
+                output_bytes=out_bytes,
+                weight_bytes=2 * (dim * hidden + hidden * dim),
+            ),
+            [norm2.name],
+        )
+        return [mlp.name]
+
+    # Everything else maps by its accounting signature.
+    kind = _classify_simple(layer)
+    node = dfg.add_node(
+        DFGNode(
+            name=prefix,
+            kind=kind,
+            macs=layer.macs(),
+            aux_ops=layer.aux_ops(),
+            input_bytes=in_bytes,
+            output_bytes=out_bytes,
+            weight_bytes=layer.weight_bytes(),
+        ),
+        frontier,
+    )
+    return [node.name]
+
+
+def _classify_simple(layer: Layer) -> OpKind:
+    """Classify parameter-light layers by type name."""
+    type_name = type(layer).__name__
+    if type_name in ("Softmax", "Tanh", "Sigmoid", "GELU", "LayerNorm",
+                     "BatchNormInference", "PositionalEncoding"):
+        return OpKind.SPECIAL
+    if type_name in ("ReLU", "LeakyReLU"):
+        return OpKind.ELEMENTWISE
+    if type_name in ("MaxPool2D", "GlobalAveragePool"):
+        return OpKind.REDUCE
+    if type_name in ("Flatten", "ToSequence", "TakeLast"):
+        return OpKind.RESHAPE
+    raise CompileError(f"compiler does not know how to lower {type_name}")

@@ -1,0 +1,122 @@
+"""Compiled programs: the compiler's output artifact.
+
+``compile_model`` runs the full pipeline — DFG extraction, hyperblock
+partitioning, grid mapping, instruction generation — and returns a
+:class:`CompiledProgram` that the accelerator model executes by time:
+``cycles(batch)`` follows the paper's batching shape, a one-off setup
+cost (kernel/weight residency, array reconfiguration) plus a per-sample
+steady-state cost, which is exactly why batching trades per-query latency
+for throughput in the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.compiler.codegen import BlockProgram, generate_block_program
+from repro.compiler.dfg import DataflowGraph, build_dfg
+from repro.compiler.hyperblock import Hyperblock, partition
+from repro.compiler.mapping import BlockMapping, map_block
+from repro.errors import CompileError
+from repro.nn.model import Model
+from repro.units import NS_PER_SEC
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A model lowered onto one accelerator configuration."""
+
+    model_name: str
+    config: AcceleratorConfig
+    dfg: DataflowGraph
+    blocks: tuple[Hyperblock, ...]
+    mappings: tuple[BlockMapping, ...]
+    programs: tuple[BlockProgram, ...]
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total parameter bytes the program must stage into DMEM."""
+        return sum(m.weight_bytes for m in self.mappings)
+
+    @property
+    def setup_cycles(self) -> int:
+        """One-off cycles per batch issue: weight residency over C2C."""
+        return -(-self.weight_bytes // self.config.c2c_bytes_per_cycle)
+
+    @property
+    def per_sample_cycles(self) -> int:
+        """Steady-state cycles per sample once weights are resident.
+
+        Per-block activation traffic is double-buffered against compute,
+        so each block contributes the slower of the two.
+        """
+        total = 0
+        for block, mapping in zip(self.blocks, self.mappings):
+            io_cycles = -(-block.io_bytes // self.config.c2c_bytes_per_cycle)
+            total += max(mapping.compute_cycles, io_cycles)
+        return total
+
+    def cycles(self, batch_size: int = 1) -> int:
+        """Total cycles to run one batch of ``batch_size`` samples."""
+        if batch_size <= 0:
+            raise CompileError(f"batch size must be positive, got {batch_size}")
+        return self.setup_cycles + batch_size * self.per_sample_cycles
+
+    def latency_ns(self, freq_hz: float, batch_size: int = 1) -> int:
+        """Wall-clock for one batch at ``freq_hz`` (integer ns)."""
+        return round(self.cycles(batch_size) / freq_hz * NS_PER_SEC)
+
+    @property
+    def mean_pe_utilization(self) -> float:
+        """Cycle-weighted average PE utilisation across blocks."""
+        total_cycles = sum(m.compute_cycles for m in self.mappings)
+        if total_cycles == 0:
+            return 0.0
+        weighted = sum(m.pe_utilization * m.compute_cycles for m in self.mappings)
+        return weighted / total_cycles
+
+    def imem_bytes(self) -> int:
+        """Peak instruction-memory footprint across blocks."""
+        return max(p.imem_bytes() for p in self.programs)
+
+    def summary(self) -> str:
+        """Per-hyperblock compile report."""
+        lines = [
+            f"CompiledProgram {self.model_name}: {len(self.blocks)} hyperblocks, "
+            f"{self.weight_bytes:,} weight bytes, "
+            f"{self.per_sample_cycles:,} cycles/sample (+{self.setup_cycles:,} setup)",
+            f"{'block':>6s} {'ops':>4s} {'MACs':>12s} {'compute cyc':>12s} "
+            f"{'mem cyc':>9s} {'PE util':>8s} {'rec':>4s}",
+        ]
+        for block, mapping in zip(self.blocks, self.mappings):
+            lines.append(
+                f"{block.name:>6s} {len(block.nodes):>4d} {block.macs:>12,d} "
+                f"{mapping.compute_cycles:>12,d} {mapping.memory_cycles:>9,d} "
+                f"{mapping.pe_utilization:>8.1%} {'yes' if block.is_recurrent else '':>4s}"
+            )
+        return "\n".join(lines)
+
+
+def compile_model(
+    model: Model, config: AcceleratorConfig = DEFAULT_CONFIG
+) -> CompiledProgram:
+    """Lower ``model`` through the full compiler pipeline."""
+    dfg = build_dfg(model)
+    blocks = partition(dfg, config)
+    mappings = tuple(map_block(block, config) for block in blocks)
+    programs = tuple(generate_block_program(block, config) for block in blocks)
+    for program in programs:
+        if program.imem_bytes() > config.imem_bytes * config.n_pes:
+            raise CompileError(
+                f"{model.name}/{program.block_name}: instruction footprint "
+                f"exceeds aggregate IMEM"
+            )
+    return CompiledProgram(
+        model_name=model.name,
+        config=config,
+        dfg=dfg,
+        blocks=tuple(blocks),
+        mappings=mappings,
+        programs=programs,
+    )

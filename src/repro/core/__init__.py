@@ -1,0 +1,13 @@
+"""The paper's core contribution: PPW-driven workload and DVFS scheduling."""
+
+from repro.core.dvfs import DVFSScheduler
+from repro.core.ppw import ppw, ppw_increase
+from repro.core.scheduler import ScheduleDecision, WorkloadScheduler
+
+__all__ = [
+    "DVFSScheduler",
+    "ScheduleDecision",
+    "WorkloadScheduler",
+    "ppw",
+    "ppw_increase",
+]

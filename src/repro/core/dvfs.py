@@ -1,0 +1,170 @@
+"""DVFS scheduling — Algorithm 2 of the paper plus the power-saving step.
+
+The DVFS scheduler manages the card's shared power budget in two phases:
+
+1. **Save power** (before workload scheduling): busy accelerators are
+   scaled down as far as their in-flight batch's deadline allows — with a
+   slack margin, and only when no backlog is waiting (stretching batches
+   under queue pressure would trade throughput for nothing).
+2. **Redistribute** (after workload scheduling): leftover budget is
+   handed out greedily — each round, evaluate re-pointing every busy
+   accelerator to any faster operating point (one PMIC transition reaches
+   any point, so a "step" is a single transition); if the power increase
+   fits the remaining headroom and the transition nets a latency
+   improvement after the switch delay, score it by marginal PPW; commit
+   the best candidate and repeat until nothing fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.device import DVFS_SWITCH_NS, Accelerator, AcceleratorCluster
+from repro.accelerator.power import DVFSTable, OperatingPoint
+from repro.baselines.profiles import LightTraderProfile
+from repro.core.ppw import ppw_increase
+
+# Fraction of a batch's remaining deadline slack the power-save step may
+# consume by slowing the clock; the rest stays as safety margin.
+SAVE_SLACK_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class DVFSScheduler:
+    """Algorithm 2: greedy marginal-PPW power distribution."""
+
+    profile: LightTraderProfile
+    table: DVFSTable
+
+    # -- phase 1: save power --------------------------------------------------
+
+    def save_power(
+        self, cluster: AcceleratorCluster, now: int, queue_pressure: bool = False
+    ) -> int:
+        """Scale busy accelerators down within their deadline slack.
+
+        Skipped entirely under ``queue_pressure`` — with a backlog
+        waiting, stretching in-flight batches costs throughput exactly
+        when it hurts most.  Idle devices are left alone; their operating
+        point is chosen at the next issue.  Returns transitions applied.
+        """
+        if queue_pressure:
+            return 0
+        transitions = 0
+        for device in cluster.busy_devices(now):
+            transitions += self._scale_down_busy(device, now)
+        return transitions
+
+    def _scale_down_busy(self, device: Accelerator, now: int) -> int:
+        record = device.current
+        if record is None or record.deadline_ns is None:
+            return 0
+        remaining = device.busy_until - now
+        slack = record.deadline_ns - device.busy_until
+        if slack <= DVFS_SWITCH_NS or remaining <= 0:
+            return 0
+        budget = remaining + round(slack * SAVE_SLACK_FRACTION) - DVFS_SWITCH_NS
+        # Lowest point whose stretched remaining time still fits the budget
+        # (single PMIC transition).
+        best: OperatingPoint | None = None
+        best_stretched = 0
+        for point in self.table:
+            if point.freq_hz >= device.point.freq_hz:
+                break
+            stretched = round(remaining * device.point.freq_hz / point.freq_hz)
+            if stretched <= budget:
+                best = point
+                best_stretched = stretched
+                break  # table iterates slowest-first; first fit is lowest
+        if best is None:
+            return 0
+        device.rescale_inflight(now, best, best_stretched)
+        return 1
+
+    def reclaim(self, cluster: AcceleratorCluster, now: int, needed_w: float) -> bool:
+        """Free at least ``needed_w`` of headroom for a new batch issue.
+
+        This is the paper's "saving power before the scheduler executes
+        the workload scheduling to make room for a new batch issue":
+        busy accelerators are slowed (within their deadline margins)
+        until the requested headroom exists.  Returns True on success.
+        """
+        if cluster.headroom(now) >= needed_w:
+            return True
+        # Slow the fastest (most boosted) devices first.
+        for device in sorted(
+            cluster.busy_devices(now), key=lambda d: -d.point.freq_hz
+        ):
+            self._scale_down_busy(device, now)
+            if cluster.headroom(now) >= needed_w:
+                return True
+        return cluster.headroom(now) >= needed_w
+
+    # -- phase 2: redistribute --------------------------------------------------
+
+    def redistribute(
+        self, cluster: AcceleratorCluster, now: int, reserve_w: float = 0.0
+    ) -> int:
+        """Greedy Algorithm-2 rounds; returns DVFS transitions applied.
+
+        ``reserve_w`` holds back headroom for imminent issues (one static
+        share when idle devices exist), so boosting in-flight batches
+        never starves the next batch of power.
+        """
+        transitions = 0
+        adjusted: set[int] = set()
+        while True:
+            headroom = cluster.headroom(now) - reserve_w
+            best_gain = -float("inf")
+            best: tuple[Accelerator, OperatingPoint, int, float] | None = None
+            for device in cluster.busy_devices(now):
+                if device.accel_id in adjusted:
+                    continue  # one transition per device per scheduling event
+                candidate = self._speed_up_candidate(device, now, headroom)
+                if candidate is None:
+                    continue
+                point, remaining, power, gain = candidate
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (device, point, remaining, power)
+            if best is None:
+                return transitions
+            device, point, remaining, __ = best
+            device.rescale_inflight(now, point, remaining)
+            adjusted.add(device.accel_id)
+            transitions += 1
+
+    def _speed_up_candidate(self, device: Accelerator, now: int, headroom: float):
+        """Best single transition to a faster point for ``device``.
+
+        Returns (point, new_remaining, new_power, ppw_inc) or None.  The
+        marginal PPW is usually negative (energy per op rises with V²);
+        Algorithm 2 still commits — its goal is to spend the whole budget
+        on speed — and the ranking picks the least costly candidate.
+        """
+        record = device.current
+        if record is None:
+            return None
+        remaining = device.busy_until - now
+        if remaining <= 0:
+            return None
+        best = None
+        for point in self.table:
+            if point.freq_hz <= device.point.freq_hz:
+                continue
+            new_power = device.power_model.power_w(
+                point, record.activity, record.batch_size
+            )
+            if new_power - record.power_w > headroom:
+                continue
+            new_remaining = round(remaining * device.point.freq_hz / point.freq_hz)
+            if DVFS_SWITCH_NS + new_remaining >= remaining:
+                continue  # the switch delay would eat the gain
+            old_total = record.completion_time - record.issue_time
+            new_total = old_total - remaining + DVFS_SWITCH_NS + new_remaining
+            gain = ppw_increase(
+                record.batch_size, old_total, record.power_w, new_total, new_power
+            )
+            if best is None or gain > best[3]:
+                best = (point, new_remaining, new_power, gain)
+        return best

@@ -1,0 +1,36 @@
+"""Performance-per-watt metric (paper §III-D).
+
+``PPW = batch_size / (latency × consumed power)`` — queries per
+joule-second, higher when the accelerator runs computationally and
+energetically efficiently.  Both schedulers rank their candidates by
+this metric (Algorithm 1 by absolute PPW, Algorithm 2 by marginal PPW
+gain of a DVFS step).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+def ppw(batch_size: int, latency_ns: int, power_w: float) -> float:
+    """The PPW metric: batch / (latency[s] × power[W])."""
+    if batch_size <= 0:
+        raise SchedulingError(f"batch size must be positive, got {batch_size}")
+    if latency_ns <= 0:
+        raise SchedulingError(f"latency must be positive, got {latency_ns}")
+    if power_w <= 0:
+        raise SchedulingError(f"power must be positive, got {power_w}")
+    return batch_size / ((latency_ns / 1e9) * power_w)
+
+
+def ppw_increase(
+    batch_size: int,
+    old_latency_ns: int,
+    old_power_w: float,
+    new_latency_ns: int,
+    new_power_w: float,
+) -> float:
+    """Marginal PPW change of a DVFS move (Algorithm 2's ``ppw_inc``)."""
+    return ppw(batch_size, new_latency_ns, new_power_w) - ppw(
+        batch_size, old_latency_ns, old_power_w
+    )

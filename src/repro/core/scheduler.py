@@ -1,0 +1,170 @@
+"""Workload scheduling — Algorithm 1 of the paper.
+
+Whenever the scheduler can issue a new batch, it sweeps every
+(DVFS option × batch size) pair, estimates the DNN-pipeline tick-to-trade
+``t_total = t_infer[dvfs][bs] + t_trans[bs]``, keeps the pairs that meet
+both the available time and the power budget, and commits the candidate
+with the highest PPW.  If no pair is feasible the oldest input tensor is
+removed from the offload engine (deferred to the conventional pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.power import DVFSTable, OperatingPoint
+from repro.baselines.profiles import LightTraderProfile
+from repro.core.ppw import ppw
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """One committed offloading choice."""
+
+    point: OperatingPoint
+    batch_size: int
+    t_total_ns: int
+    power_w: float
+    ppw: float
+
+
+@dataclass(frozen=True)
+class WorkloadScheduler:
+    """Algorithm 1: pick (dvfs, batch) maximising PPW under constraints.
+
+    Attributes:
+        profile: The LightTrader latency/power oracle.
+        table: DVFS options available to dynamic scheduling.
+        max_batch: Upper bound on the batch size options.
+    """
+
+    profile: LightTraderProfile
+    table: DVFSTable
+    max_batch: int = 16
+    # Candidate-ranking metric: 'ppw' (the paper's Algorithm 1),
+    # 'latency' (minimise t_total) or 'throughput' (maximise batch/t_total).
+    # The alternatives exist for the ablation study.
+    metric: str = "ppw"
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise SchedulingError("max_batch must be positive")
+        if self.metric not in ("ppw", "latency", "throughput"):
+            raise SchedulingError(f"unknown scheduling metric {self.metric!r}")
+
+    def _score(self, batch_size: int, t_total: int, power: float) -> float:
+        if self.metric == "ppw":
+            return ppw(batch_size, t_total, power)
+        if self.metric == "latency":
+            return -float(t_total)
+        return batch_size / (t_total / 1e9)  # throughput
+
+    def decide(
+        self,
+        model: str,
+        now: int,
+        deadlines: "list[int]",
+        power_budget_w: float,
+        floor_freq_hz: float = 0.0,
+    ) -> ScheduleDecision | None:
+        """Run one Algorithm-1 sweep.
+
+        Args:
+            model: Model being served.
+            now: Current time (ns); issue happens immediately on commit.
+            deadlines: Effective deadlines of the pending queries in FIFO
+                order (up to ``max_batch`` entries); a batch of size b is
+                only useful if it completes by ``min(deadlines[:b])``.
+            power_budget_w: Power available to this accelerator
+                (static share without DVFS scheduling, rail headroom
+                with it).
+
+            floor_freq_hz: Prefer operating points at or above this
+                frequency (the conservative static point): running below
+                it saves energy the desk has already budgeted for, while
+                stretching service just before a burst.  Slower points
+                are still considered when nothing at or above the floor
+                is feasible (e.g. the power share cannot carry them).
+
+        Returns:
+            The best feasible decision, or None (caller then removes the
+            oldest input tensor, Algorithm 1's fallback).
+        """
+        if not deadlines:
+            raise SchedulingError("decide() called with no pending queries")
+        # t_avail per batch size: the tightest deadline inside the batch.
+        tightest: list[int] = []
+        running = deadlines[0]
+        for deadline in deadlines[: self.max_batch]:
+            running = min(running, deadline)
+            tightest.append(running)
+        best = self._sweep(model, now, tightest, power_budget_w, floor_freq_hz)
+        if best is None and floor_freq_hz > 0.0:
+            best = self._sweep(model, now, tightest, power_budget_w, 0.0)
+        return best
+
+    def _sweep(
+        self,
+        model: str,
+        now: int,
+        tightest: "list[int]",
+        power_budget_w: float,
+        floor_freq_hz: float,
+    ) -> ScheduleDecision | None:
+        best: ScheduleDecision | None = None
+        for point in self.table:
+            if point.freq_hz < floor_freq_hz:
+                continue
+            for batch_size in range(1, len(tightest) + 1):
+                t_total = self.profile.t_total_ns(model, point, batch_size)
+                if now + t_total > tightest[batch_size - 1]:
+                    continue  # would miss a deadline inside the batch
+                power = self.profile.power_w(model, point, batch_size)
+                if power > power_budget_w:
+                    continue
+                score = self._score(batch_size, t_total, power)
+                if best is None or score > best.ppw:
+                    best = ScheduleDecision(
+                        point=point,
+                        batch_size=batch_size,
+                        t_total_ns=t_total,
+                        power_w=power,
+                        ppw=score,
+                    )
+        return best
+
+    def deadline_feasible(self, model: str, now: int, deadline: int) -> bool:
+        """True if ANY operating point could serve a batch-1 inference by
+        ``deadline`` (ignoring power).
+
+        Distinguishes Algorithm 1's two "no candidate" cases: a hopeless
+        deadline (drop the tensor, its opportunity is gone) versus a
+        transient power shortage (keep it queued; an accelerator frees
+        both capacity and power shortly).
+        """
+        fastest = self.table.max_point
+        return now + self.profile.t_total_ns(model, fastest, 1) <= deadline
+
+    def static_decision(
+        self,
+        model: str,
+        point: OperatingPoint,
+        now: int,
+        oldest_deadline: int,
+    ) -> ScheduleDecision:
+        """The no-scheduling baseline: batch 1 at the fixed static point.
+
+        The baseline performs no feasibility analysis — it issues even
+        queries that are doomed to miss (that throughput waste is exactly
+        what Algorithm 1 removes).
+        """
+        t_total = self.profile.t_total_ns(model, point, 1)
+        power = self.profile.power_w(model, point, 1)
+        return ScheduleDecision(
+            point=point,
+            batch_size=1,
+            t_total_ns=t_total,
+            power_w=power,
+            ppw=ppw(1, t_total, power),
+        )

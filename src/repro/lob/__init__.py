@@ -1,0 +1,28 @@
+"""Limit order book substrate: orders, books, matching, snapshots, events."""
+
+from repro.lob.book import BookSide, LimitOrderBook, PriceLevel
+from repro.lob.events import BookUpdate, MarketEvent, TradeTick, UpdateAction
+from repro.lob.matching import MatchingEngine, MatchResult
+from repro.lob.order import Fill, Order, OrderType, Side, TimeInForce, next_order_id
+from repro.lob.snapshot import CANONICAL_DEPTH, FEATURES_PER_LEVEL, DepthSnapshot
+
+__all__ = [
+    "BookSide",
+    "BookUpdate",
+    "CANONICAL_DEPTH",
+    "DepthSnapshot",
+    "FEATURES_PER_LEVEL",
+    "Fill",
+    "LimitOrderBook",
+    "MarketEvent",
+    "MatchResult",
+    "MatchingEngine",
+    "Order",
+    "OrderType",
+    "PriceLevel",
+    "Side",
+    "TimeInForce",
+    "TradeTick",
+    "UpdateAction",
+    "next_order_id",
+]

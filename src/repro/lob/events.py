@@ -1,0 +1,53 @@
+"""Market-data events emitted by the matching engine.
+
+These are the exchange-side "tick" messages: incremental book updates and
+trade summaries, exactly the payloads the SBE codec in
+:mod:`repro.protocol.sbe` carries over the simulated feed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lob.order import Side
+
+
+class UpdateAction(enum.IntEnum):
+    """Incremental book update action (mirrors CME MDUpdateAction)."""
+
+    NEW = 0
+    CHANGE = 1
+    DELETE = 2
+
+
+@dataclass(frozen=True)
+class BookUpdate:
+    """One incremental change to a price level.
+
+    ``volume`` is the level's *new* aggregate volume after the change
+    (0 for DELETE), matching how exchanges publish book deltas.
+    """
+
+    symbol: str
+    timestamp: int
+    action: UpdateAction
+    side: Side
+    price: int
+    volume: int
+    sequence: int = 0
+
+
+@dataclass(frozen=True)
+class TradeTick:
+    """A trade print: ``quantity`` contracts at ``price`` ticks."""
+
+    symbol: str
+    timestamp: int
+    price: int
+    quantity: int
+    aggressor_side: Side
+    sequence: int = 0
+
+
+MarketEvent = BookUpdate | TradeTick

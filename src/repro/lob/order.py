@@ -1,0 +1,120 @@
+"""Order primitives shared by the book, the matching engine and the feed.
+
+Prices are integer exchange ticks (see :mod:`repro.units`); quantities are
+integer contracts.  Orders are mutable because the matching engine fills
+them in place, but client code should treat returned orders as read-only.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import OrderBookError
+
+
+class Side(enum.IntEnum):
+    """Side of an order: BID buys, ASK sells."""
+
+    BID = 0
+    ASK = 1
+
+    @property
+    def opposite(self) -> "Side":
+        """The other side of the book."""
+        return Side.ASK if self is Side.BID else Side.BID
+
+    @property
+    def sign(self) -> int:
+        """+1 for BID, -1 for ASK: sign of inventory change when filled."""
+        return 1 if self is Side.BID else -1
+
+
+class OrderType(enum.IntEnum):
+    """Supported order types."""
+
+    LIMIT = 0
+    MARKET = 1
+
+
+class TimeInForce(enum.IntEnum):
+    """How long an unfilled order rests.
+
+    DAY rests until cancelled; IOC (immediate-or-cancel) fills what it can
+    then cancels; FOK (fill-or-kill) must fill completely or not at all.
+    """
+
+    DAY = 0
+    IOC = 1
+    FOK = 2
+
+
+_order_ids = itertools.count(1)
+
+
+def next_order_id() -> int:
+    """Return a process-unique monotonically increasing order id."""
+    return next(_order_ids)
+
+
+@dataclass
+class Order:
+    """A single order as known to the matching engine.
+
+    Attributes:
+        order_id: Unique id assigned by :func:`next_order_id` (or caller).
+        side: BID or ASK.
+        price: Limit price in integer exchange ticks (ignored for MARKET).
+        quantity: Original quantity in contracts (> 0).
+        remaining: Unfilled quantity; maintained by the matching engine.
+        order_type: LIMIT or MARKET.
+        tif: Time-in-force policy.
+        owner: Free-form participant tag (used by agents / P&L accounting).
+        entry_time: Exchange receive time in integer ns (priority tiebreak).
+    """
+
+    side: Side
+    price: int
+    quantity: int
+    order_id: int = field(default_factory=next_order_id)
+    order_type: OrderType = OrderType.LIMIT
+    tif: TimeInForce = TimeInForce.DAY
+    owner: str = ""
+    entry_time: int = 0
+    remaining: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.quantity <= 0:
+            raise OrderBookError(f"order quantity must be positive, got {self.quantity}")
+        if self.order_type is OrderType.LIMIT and self.price <= 0:
+            raise OrderBookError(f"limit price must be positive ticks, got {self.price}")
+        if self.remaining < 0:
+            self.remaining = self.quantity
+
+    @property
+    def filled(self) -> int:
+        """Quantity filled so far."""
+        return self.quantity - self.remaining
+
+    @property
+    def is_done(self) -> bool:
+        """True once fully filled (or cancelled down to zero)."""
+        return self.remaining == 0
+
+
+@dataclass(frozen=True)
+class Fill:
+    """One execution: ``quantity`` contracts traded at ``price`` ticks.
+
+    ``maker_id`` is the resting order, ``taker_id`` the aggressing order.
+    """
+
+    price: int
+    quantity: int
+    maker_id: int
+    taker_id: int
+    maker_owner: str
+    taker_owner: str
+    aggressor_side: Side
+    timestamp: int

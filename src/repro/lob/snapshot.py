@@ -1,0 +1,114 @@
+"""Depth snapshots: the representation HFT models consume.
+
+A :class:`DepthSnapshot` freezes the top ``depth`` levels of each side at a
+timestamp.  The :meth:`DepthSnapshot.feature_vector` layout matches the
+DeepLOB / TransLOB convention: for each level L in 1..depth the four entries
+``(ask_price_L, ask_volume_L, bid_price_L, bid_volume_L)``, giving a
+``4 * depth`` vector (40 features at the canonical depth of 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lob.book import LimitOrderBook
+
+CANONICAL_DEPTH = 10
+FEATURES_PER_LEVEL = 4
+
+
+@dataclass(frozen=True)
+class DepthSnapshot:
+    """Immutable top-of-book depth snapshot.
+
+    ``bids`` and ``asks`` hold up to ``depth`` (price_ticks, volume) pairs,
+    best price first.  Sides shallower than ``depth`` are padded during
+    feature extraction (price pads extrapolate away from the touch, volume
+    pads are zero) so downstream tensors always have a fixed shape.
+    """
+
+    symbol: str
+    timestamp: int
+    depth: int
+    bids: tuple[tuple[int, int], ...]
+    asks: tuple[tuple[int, int], ...]
+    last_trade_price: int | None = None
+    last_trade_quantity: int = 0
+    sequence: int = field(default=0)
+
+    @classmethod
+    def capture(
+        cls,
+        book: LimitOrderBook,
+        timestamp: int,
+        depth: int = CANONICAL_DEPTH,
+        last_trade_price: int | None = None,
+        last_trade_quantity: int = 0,
+        sequence: int = 0,
+    ) -> "DepthSnapshot":
+        """Snapshot the top ``depth`` levels of ``book`` at ``timestamp``."""
+        return cls(
+            symbol=book.symbol,
+            timestamp=timestamp,
+            depth=depth,
+            bids=tuple(book.bids.top(depth)),
+            asks=tuple(book.asks.top(depth)),
+            last_trade_price=last_trade_price,
+            last_trade_quantity=last_trade_quantity,
+            sequence=sequence,
+        )
+
+    @property
+    def best_bid(self) -> int | None:
+        """Best bid price in ticks, or None when the bid side is empty."""
+        return self.bids[0][0] if self.bids else None
+
+    @property
+    def best_ask(self) -> int | None:
+        """Best ask price in ticks, or None when the ask side is empty."""
+        return self.asks[0][0] if self.asks else None
+
+    @property
+    def mid_price(self) -> float | None:
+        """Mid price in ticks, or None when either side is empty."""
+        if not self.bids or not self.asks:
+            return None
+        return (self.bids[0][0] + self.asks[0][0]) / 2
+
+    def feature_vector(self) -> np.ndarray:
+        """Flatten to the canonical ``4 * depth`` float32 feature vector.
+
+        Layout per level: ask price, ask volume, bid price, bid volume —
+        the ordering used by the DeepLOB input encoding.  Missing levels
+        are padded: ask prices extrapolate upward by one tick per missing
+        level, bid prices downward, volumes pad with zero.
+        """
+        vec = np.empty(FEATURES_PER_LEVEL * self.depth, dtype=np.float32)
+        pad_ask = self.asks[-1][0] if self.asks else (self.best_bid or 0) + 1
+        pad_bid = self.bids[-1][0] if self.bids else (self.best_ask or 2) - 1
+        for lvl in range(self.depth):
+            if lvl < len(self.asks):
+                ask_price, ask_vol = self.asks[lvl]
+            else:
+                ask_price, ask_vol = pad_ask + (lvl - len(self.asks) + 1), 0
+            if lvl < len(self.bids):
+                bid_price, bid_vol = self.bids[lvl]
+            else:
+                bid_price, bid_vol = pad_bid - (lvl - len(self.bids) + 1), 0
+            base = FEATURES_PER_LEVEL * lvl
+            vec[base + 0] = ask_price
+            vec[base + 1] = ask_vol
+            vec[base + 2] = bid_price
+            vec[base + 3] = bid_vol
+        return vec
+
+    def imbalance(self) -> float:
+        """Top-of-book volume imbalance in [-1, 1] (positive = bid heavy)."""
+        bid_vol = self.bids[0][1] if self.bids else 0
+        ask_vol = self.asks[0][1] if self.asks else 0
+        total = bid_vol + ask_vol
+        if total == 0:
+            return 0.0
+        return (bid_vol - ask_vol) / total

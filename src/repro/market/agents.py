@@ -1,0 +1,174 @@
+"""Order-flow agents that generate realistic exchange activity.
+
+The synthetic market is agent-based: at every Hawkes arrival one agent
+acts on the shared matching engine.  The mix below reproduces the three
+ingredients the paper's traffic analysis relies on — passive liquidity
+(market makers re-quoting), aggressive flow (takers), and order-chasing
+behaviour that amplifies bursts (momentum traders) — while keeping the
+book two-sided and mean-reverting around a slowly moving reference price.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lob.matching import MatchingEngine, MatchResult
+from repro.lob.order import Order, OrderType, Side, TimeInForce
+
+
+@dataclass
+class MarketContext:
+    """Mutable state shared between agents while generating a session."""
+
+    symbol: str
+    reference_price: float  # slowly drifting fair value, in ticks
+    last_direction: int = 0  # sign of the last trade-driven mid move
+    engine: MatchingEngine = field(default_factory=MatchingEngine)
+
+    @property
+    def book(self):
+        """The symbol's live book."""
+        return self.engine.book(self.symbol)
+
+    def anchor_price(self) -> int:
+        """Best integer price to quote around: the mid if the book is
+        two-sided, else the drifting reference price."""
+        mid = self.book.mid_price
+        return round(mid) if mid is not None else round(self.reference_price)
+
+
+class Agent(abc.ABC):
+    """One participant archetype; ``act`` performs engine operations."""
+
+    @abc.abstractmethod
+    def act(
+        self, ctx: MarketContext, timestamp: int, rng: np.random.Generator
+    ) -> list[MatchResult]:
+        """Perform zero or more operations at ``timestamp``; return results."""
+
+
+class MarketMaker(Agent):
+    """Quotes both sides around the anchor and recycles stale quotes.
+
+    Keeps a bounded inventory of live quotes; when over the bound it
+    cancels the oldest quote first — generating the cancel/replace churn
+    that dominates real tick feeds.
+    """
+
+    def __init__(self, name: str, max_live_quotes: int = 40, max_depth: int = 8) -> None:
+        self.name = name
+        self.max_live_quotes = max_live_quotes
+        self.max_depth = max_depth
+        self._live: list[int] = []  # order ids, oldest first
+
+    def act(self, ctx, timestamp, rng):
+        results: list[MatchResult] = []
+        book = ctx.book
+        # Recycle stale quotes beyond the live bound.
+        while len(self._live) >= self.max_live_quotes:
+            order_id = self._live.pop(0)
+            if order_id in book:
+                results.append(ctx.engine.cancel(ctx.symbol, order_id, timestamp))
+        anchor = ctx.anchor_price()
+        side = Side.BID if rng.uniform() < 0.5 else Side.ASK
+        offset = int(rng.integers(1, self.max_depth + 1))
+        price = anchor - offset if side is Side.BID else anchor + offset
+        if price <= 0:
+            return results
+        order = Order(
+            side=side,
+            price=price,
+            quantity=int(rng.integers(1, 10)),
+            owner=self.name,
+        )
+        results.append(ctx.engine.submit(ctx.symbol, order, timestamp))
+        if order.order_id in book:
+            self._live.append(order.order_id)
+        return results
+
+
+class LiquidityTaker(Agent):
+    """Sends aggressive IOC orders that cross the spread (noise flow)."""
+
+    def __init__(self, name: str, aggression: float = 0.5) -> None:
+        self.name = name
+        self.aggression = aggression
+
+    def act(self, ctx, timestamp, rng):
+        book = ctx.book
+        if book.best_bid is None or book.best_ask is None:
+            return []
+        side = Side.BID if rng.uniform() < 0.5 else Side.ASK
+        touch = book.best_ask if side is Side.BID else book.best_bid
+        order = Order(
+            side=side,
+            price=touch,
+            quantity=int(rng.integers(1, 6)),
+            tif=TimeInForce.IOC,
+            owner=self.name,
+        )
+        result = ctx.engine.submit(ctx.symbol, order, timestamp)
+        if result.fills:
+            ctx.last_direction = side.sign
+        return [result]
+
+
+class MomentumTrader(Agent):
+    """Chases the last move, amplifying bursts into directional cascades."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def act(self, ctx, timestamp, rng):
+        if ctx.last_direction == 0:
+            return []
+        book = ctx.book
+        if book.best_bid is None or book.best_ask is None:
+            return []
+        side = Side.BID if ctx.last_direction > 0 else Side.ASK
+        order = Order(
+            side=side,
+            price=1,
+            quantity=int(rng.integers(1, 4)),
+            order_type=OrderType.MARKET,
+            owner=self.name,
+        )
+        return [ctx.engine.submit(ctx.symbol, order, timestamp)]
+
+
+@dataclass(frozen=True)
+class AgentMix:
+    """Weighted population of agents sampled per arrival."""
+
+    agents: tuple[Agent, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.agents) != len(self.weights):
+            raise ValueError("agents and weights must align")
+        if not self.agents:
+            raise ValueError("agent mix cannot be empty")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def sample(self, rng: np.random.Generator) -> Agent:
+        """Draw one agent according to the mix weights."""
+        probs = np.asarray(self.weights, dtype=float)
+        probs /= probs.sum()
+        return self.agents[int(rng.choice(len(self.agents), p=probs))]
+
+
+def default_mix() -> AgentMix:
+    """The standard population: 60% maker churn, 30% takers, 10% momentum."""
+    return AgentMix(
+        agents=(
+            MarketMaker("mm-0"),
+            MarketMaker("mm-1", max_depth=4),
+            LiquidityTaker("taker-0"),
+            MomentumTrader("momo-0"),
+        ),
+        weights=(0.35, 0.25, 0.30, 0.10),
+    )

@@ -1,0 +1,143 @@
+"""Market simulator: Hawkes arrivals drive agents through the matching engine.
+
+This produces the synthetic CME-like session used by every experiment:
+bursty tick timestamps (Hawkes), realistic two-sided book dynamics
+(agent-based order flow through a real price–time-priority matching
+engine), and per-tick depth snapshots recorded as a :class:`TickTape`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lob.events import TradeTick
+from repro.lob.order import Order, Side
+from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
+from repro.market.agents import AgentMix, MarketContext, default_mix
+from repro.market.hawkes import BURSTY, HawkesParams, HawkesProcess
+from repro.market.replay import Tick, TickTape
+from repro.units import sec_to_ns
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Configuration of a synthetic market session.
+
+    Attributes:
+        symbol: Security symbol stamped on all events.
+        initial_price: Starting fair value in integer ticks (E-mini S&P 500
+            around 4500.00 points = 18000 quarter-point ticks).
+        hawkes: Arrival process parameters (default: the bursty preset).
+        seed_levels: Number of price levels pre-seeded on each side.
+        seed_volume: Resting volume per pre-seeded level.
+        snapshot_depth: Depth recorded in each tick snapshot.
+    """
+
+    symbol: str = "ESU6"
+    initial_price: int = 18_000
+    hawkes: HawkesParams = field(default_factory=lambda: BURSTY)
+    seed_levels: int = 12
+    seed_volume: int = 25
+    snapshot_depth: int = CANONICAL_DEPTH
+
+
+class MarketSimulator:
+    """Generates re-runnable synthetic market sessions."""
+
+    def __init__(
+        self,
+        config: MarketConfig | None = None,
+        mix: AgentMix | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or MarketConfig()
+        self.mix = mix or default_mix()
+        self.seed = seed
+
+    def _seed_book(self, ctx: MarketContext) -> None:
+        """Pre-populate a symmetric book so agents have liquidity to act on."""
+        cfg = self.config
+        for level in range(1, cfg.seed_levels + 1):
+            ctx.engine.submit(
+                cfg.symbol,
+                Order(
+                    side=Side.BID,
+                    price=cfg.initial_price - level,
+                    quantity=cfg.seed_volume,
+                    owner="seed",
+                ),
+                0,
+            )
+            ctx.engine.submit(
+                cfg.symbol,
+                Order(
+                    side=Side.ASK,
+                    price=cfg.initial_price + level,
+                    quantity=cfg.seed_volume,
+                    owner="seed",
+                ),
+                0,
+            )
+
+    def generate(self, duration_s: float, max_ticks: int | None = None) -> TickTape:
+        """Run a session of ``duration_s`` seconds and return its tick tape.
+
+        Every Hawkes arrival triggers one agent action; each action's
+        market-data events become one tick (timestamp + post-event
+        snapshot).  The same (config, mix, seed, duration) always produces
+        the identical tape.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(self.seed)
+        ctx = MarketContext(symbol=cfg.symbol, reference_price=float(cfg.initial_price))
+        self._seed_book(ctx)
+
+        process = HawkesProcess(cfg.hawkes, rng)
+        arrival_times = process.sample_times_ns(sec_to_ns(duration_s))
+
+        ticks: list[Tick] = []
+        sequence = 0
+        for timestamp in arrival_times.tolist():
+            agent = self.mix.sample(rng)
+            results = agent.act(ctx, timestamp, rng)
+            if not any(result.events for result in results):
+                continue
+            # Random-walk drift of the reference price keeps the market alive
+            # even if one side is temporarily swept.
+            ctx.reference_price += rng.normal(0.0, 0.05)
+            last_trade = self._last_trade(results)
+            sequence += 1
+            snapshot = DepthSnapshot.capture(
+                ctx.book,
+                timestamp=timestamp,
+                depth=cfg.snapshot_depth,
+                last_trade_price=last_trade[0],
+                last_trade_quantity=last_trade[1],
+                sequence=sequence,
+            )
+            ticks.append(Tick(timestamp=timestamp, snapshot=snapshot))
+            if max_ticks is not None and len(ticks) >= max_ticks:
+                break
+        return TickTape(ticks)
+
+    @staticmethod
+    def _last_trade(results) -> tuple[int | None, int]:
+        """Extract the price/quantity of the last trade in ``results``."""
+        for result in reversed(results):
+            for event in reversed(result.events):
+                if isinstance(event, TradeTick) and event.quantity > 0:
+                    return event.price, event.quantity
+        return None, 0
+
+
+def generate_session(
+    duration_s: float = 10.0,
+    seed: int = 0,
+    hawkes: HawkesParams | None = None,
+    symbol: str = "ESU6",
+) -> TickTape:
+    """One-call helper used across examples and benchmarks."""
+    config = MarketConfig(symbol=symbol, hawkes=hawkes or BURSTY)
+    return MarketSimulator(config, seed=seed).generate(duration_s)

@@ -1,0 +1,139 @@
+"""Tick tape: the recorded market session the back-tester replays.
+
+A :class:`Tick` is one market-data event as seen by the trading system:
+an arrival timestamp plus the depth snapshot *after* the event was applied.
+The paper's simulation framework back-tests "historical market data,
+including timestamp and LOB snapshot" — a :class:`TickTape` is exactly
+that artifact, with ndjson persistence so sessions are re-runnable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.lob.snapshot import DepthSnapshot
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One feed event: ``timestamp`` (ns) and the post-event snapshot."""
+
+    timestamp: int
+    snapshot: DepthSnapshot
+
+    @property
+    def mid_price(self) -> float | None:
+        """Mid price at this tick, in ticks."""
+        return self.snapshot.mid_price
+
+
+class TickTape(Sequence[Tick]):
+    """An immutable, time-ordered sequence of ticks with persistence."""
+
+    def __init__(self, ticks: Sequence[Tick]) -> None:
+        self._ticks = list(ticks)
+        for prev, cur in zip(self._ticks, self._ticks[1:]):
+            if cur.timestamp < prev.timestamp:
+                raise ValueError("tick tape must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self._ticks)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TickTape(self._ticks[index])
+        return self._ticks[index]
+
+    def __iter__(self) -> Iterator[Tick]:
+        return iter(self._ticks)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """All arrival timestamps as an int64 array (ns)."""
+        return np.asarray([t.timestamp for t in self._ticks], dtype=np.int64)
+
+    @property
+    def duration_ns(self) -> int:
+        """Span from first to last tick (0 for tapes shorter than 2)."""
+        if len(self._ticks) < 2:
+            return 0
+        return self._ticks[-1].timestamp - self._ticks[0].timestamp
+
+    def inter_arrival_ns(self) -> np.ndarray:
+        """Gaps between consecutive ticks (ns); length ``len(tape) - 1``."""
+        return np.diff(self.timestamps)
+
+    def mid_prices(self) -> np.ndarray:
+        """Mid price per tick (float ticks); NaN where one side was empty."""
+        return np.asarray(
+            [t.mid_price if t.mid_price is not None else np.nan for t in self._ticks],
+            dtype=np.float64,
+        )
+
+    def horizon_deadline(self, index: int, horizon: int) -> int | None:
+        """Deadline for tick ``index``: arrival time of the tick ``horizon``
+        steps later, or None when the tape ends first.
+
+        This encodes the paper's prediction-horizon semantics: a forecast
+        of the price ``horizon`` ticks ahead is worthless once that tick
+        has arrived.
+        """
+        j = index + horizon
+        if j >= len(self._ticks):
+            return None
+        return self._ticks[j].timestamp
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the tape as one JSON object per line (ndjson)."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for tick in self._ticks:
+                snap = tick.snapshot
+                fh.write(
+                    json.dumps(
+                        {
+                            "ts": tick.timestamp,
+                            "sym": snap.symbol,
+                            "seq": snap.sequence,
+                            "depth": snap.depth,
+                            "bids": list(snap.bids),
+                            "asks": list(snap.asks),
+                            "ltp": snap.last_trade_price,
+                            "ltq": snap.last_trade_quantity,
+                        }
+                    )
+                )
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TickTape":
+        """Load a tape previously written by :meth:`save`."""
+        ticks: list[Tick] = []
+        with Path(path).open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                snapshot = DepthSnapshot(
+                    symbol=row["sym"],
+                    timestamp=row["ts"],
+                    depth=row["depth"],
+                    bids=tuple((p, v) for p, v in row["bids"]),
+                    asks=tuple((p, v) for p, v in row["asks"]),
+                    last_trade_price=row["ltp"],
+                    last_trade_quantity=row["ltq"],
+                    sequence=row["seq"],
+                )
+                ticks.append(Tick(timestamp=row["ts"], snapshot=snapshot))
+        return cls(ticks)
+
+    def feature_matrix(self) -> np.ndarray:
+        """Stack all snapshot feature vectors into ``(n_ticks, 40)``."""
+        return np.stack([t.snapshot.feature_vector() for t in self._ticks])

@@ -1,0 +1,90 @@
+"""Burstiness statistics for tick tapes.
+
+These quantify the traffic properties the paper's scheduler is designed
+around: heavy-tailed inter-arrival gaps, burst clustering, and short
+windows whose instantaneous rate far exceeds the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import NS_PER_SEC, us_to_ns
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Summary statistics of a tick arrival sequence.
+
+    Attributes:
+        n_ticks: Number of ticks observed.
+        mean_rate_hz: Average arrival rate over the session.
+        mean_gap_us / median_gap_us / p1_gap_us: Inter-arrival moments (µs).
+        cv: Coefficient of variation of gaps (1 for Poisson, >1 bursty).
+        burstiness: Goh–Barabási index (σ−μ)/(σ+μ) ∈ (−1, 1); 0 = Poisson.
+        burst_fraction: Fraction of ticks arriving within ``burst_gap_us``
+            of the previous tick (i.e. inside a micro-burst).
+        peak_rate_hz: Maximum rate over any ``window_us`` window.
+    """
+
+    n_ticks: int
+    mean_rate_hz: float
+    mean_gap_us: float
+    median_gap_us: float
+    p1_gap_us: float
+    cv: float
+    burstiness: float
+    burst_fraction: float
+    peak_rate_hz: float
+
+
+def traffic_stats(
+    timestamps_ns: np.ndarray,
+    burst_gap_us: float = 100.0,
+    window_us: float = 1_000.0,
+) -> TrafficStats:
+    """Compute :class:`TrafficStats` for sorted arrival ``timestamps_ns``."""
+    timestamps_ns = np.asarray(timestamps_ns, dtype=np.int64)
+    n = len(timestamps_ns)
+    if n < 2:
+        return TrafficStats(n, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    gaps = np.diff(timestamps_ns).astype(np.float64)
+    duration_s = (timestamps_ns[-1] - timestamps_ns[0]) / NS_PER_SEC
+    mean = gaps.mean()
+    std = gaps.std()
+    cv = std / mean if mean > 0 else 0.0
+    burstiness = (std - mean) / (std + mean) if (std + mean) > 0 else 0.0
+    burst_fraction = float((gaps <= us_to_ns(burst_gap_us)).mean())
+    return TrafficStats(
+        n_ticks=n,
+        mean_rate_hz=(n - 1) / duration_s if duration_s > 0 else 0.0,
+        mean_gap_us=mean / 1_000.0,
+        median_gap_us=float(np.median(gaps)) / 1_000.0,
+        p1_gap_us=float(np.percentile(gaps, 1)) / 1_000.0,
+        cv=float(cv),
+        burstiness=float(burstiness),
+        burst_fraction=burst_fraction,
+        peak_rate_hz=_peak_rate(timestamps_ns, us_to_ns(window_us)),
+    )
+
+
+def _peak_rate(timestamps_ns: np.ndarray, window_ns: int) -> float:
+    """Max events/s over any sliding window of ``window_ns``."""
+    if window_ns <= 0:
+        raise ValueError("window must be positive")
+    left = np.searchsorted(timestamps_ns, timestamps_ns - window_ns, side="left")
+    counts = np.arange(len(timestamps_ns)) - left + 1
+    return float(counts.max()) / (window_ns / NS_PER_SEC)
+
+
+def describe(stats: TrafficStats) -> str:
+    """Human-readable one-paragraph summary of traffic statistics."""
+    return (
+        f"{stats.n_ticks} ticks @ {stats.mean_rate_hz:,.0f}/s mean "
+        f"(peak {stats.peak_rate_hz:,.0f}/s); gaps mean {stats.mean_gap_us:,.0f}µs, "
+        f"median {stats.median_gap_us:,.0f}µs, p1 {stats.p1_gap_us:,.1f}µs; "
+        f"CV {stats.cv:.2f}, burstiness {stats.burstiness:+.2f}, "
+        f"{stats.burst_fraction:.1%} of ticks inside bursts"
+    )

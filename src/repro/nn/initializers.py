@@ -1,0 +1,41 @@
+"""Deterministic weight initialisation.
+
+Every model in this library is constructed from a seed, so any experiment
+is exactly re-runnable.  Initialisers take an explicit numpy Generator —
+there is no hidden global RNG anywhere in the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(−a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He uniform (ReLU-family): U(−a, a) with a = sqrt(6 / fan_in)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def orthogonal(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Orthogonal init (for recurrent kernels)."""
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make deterministic up to the RNG draw
+    q = q[:rows, :cols] if q.shape != shape else q
+    return q.T.astype(np.float32) if q.shape != shape else q.astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero float32 parameter."""
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,42 @@
+"""Layer zoo for the numpy inference library."""
+
+from repro.nn.layers.activations import GELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh, softmax
+from repro.nn.layers.attention import (
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerBlock,
+)
+from repro.nn.layers.base import Layer, conv_output_length
+from repro.nn.layers.conv import CausalConv1D, Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.inception import InceptionModule
+from repro.nn.layers.norm import BatchNormInference, LayerNorm
+from repro.nn.layers.pooling import Flatten, GlobalAveragePool, MaxPool2D, TakeLast, ToSequence
+from repro.nn.layers.recurrent import LSTM
+
+__all__ = [
+    "BatchNormInference",
+    "CausalConv1D",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "GELU",
+    "GlobalAveragePool",
+    "InceptionModule",
+    "LSTM",
+    "Layer",
+    "LayerNorm",
+    "LeakyReLU",
+    "MaxPool2D",
+    "MultiHeadSelfAttention",
+    "PositionalEncoding",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "TakeLast",
+    "Tanh",
+    "ToSequence",
+    "TransformerBlock",
+    "conv_output_length",
+    "softmax",
+]

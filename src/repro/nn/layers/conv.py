@@ -1,0 +1,154 @@
+"""Convolution layers (2-D and dilated causal 1-D), im2col based.
+
+Conventions: 2-D inputs are ``(channels, height, width)`` per sample with
+height = time and width = LOB features, matching the DeepLOB layout.
+1-D inputs are ``(timesteps, channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.initializers import he_uniform, zeros
+from repro.nn.layers.base import Layer, conv_output_length
+
+
+def _pad_amounts(length: int, kernel: int, stride: int, dilation: int = 1) -> tuple[int, int]:
+    """'same' padding (before, after) along one axis."""
+    effective = (kernel - 1) * dilation + 1
+    out_len = -(-length // stride)
+    total = max((out_len - 1) * stride + effective - length, 0)
+    return total // 2, total - total // 2
+
+
+class Conv2D(Layer):
+    """2-D convolution over ``(C, H, W)`` inputs via im2col + matmul."""
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: tuple[int, int],
+        stride: tuple[int, int] = (1, 1),
+        padding: str = "same",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if filters <= 0:
+            raise ModelError(f"filters must be positive, got {filters}")
+        if padding not in ("same", "valid"):
+            raise ModelError(f"Conv2D padding must be same/valid, got {padding!r}")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def _build(self, input_shape, rng):
+        if len(input_shape) != 3:
+            raise ModelError(f"{self.name}: Conv2D expects (C, H, W), got {input_shape}")
+        channels, height, width = input_shape
+        kh, kw = self.kernel_size
+        fan_in = channels * kh * kw
+        self.params["weight"] = he_uniform(
+            rng, (self.filters, channels, kh, kw), fan_in=fan_in
+        )
+        self.params["bias"] = zeros((self.filters,))
+        out_h = conv_output_length(height, kh, self.stride[0], self.padding)
+        out_w = conv_output_length(width, kw, self.stride[1], self.padding)
+        return (self.filters, out_h, out_w)
+
+    def _forward(self, x):
+        n, channels, height, width = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        if self.padding == "same":
+            ph = _pad_amounts(height, kh, sh)
+            pw = _pad_amounts(width, kw, sw)
+            x = np.pad(x, ((0, 0), (0, 0), ph, pw))
+        cols = _im2col(x, kh, kw, sh, sw)  # (N, C*kh*kw, out_h*out_w)
+        weight = self.params["weight"].reshape(self.filters, -1)
+        out = weight @ cols + self.params["bias"][:, None]
+        out_c, out_h, out_w = self.output_shape
+        return out.reshape(n, out_c, out_h, out_w)
+
+    def _macs(self):
+        out_c, out_h, out_w = self.output_shape
+        in_c = self.input_shape[0]
+        kh, kw = self.kernel_size
+        return out_c * out_h * out_w * in_c * kh * kw
+
+    def _aux_ops(self):
+        return int(np.prod(self.output_shape))  # bias adds
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Extract conv patches: returns ``(N, C*kh*kw, out_h*out_w)``."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, C, kh, kw, out_h, out_w) -> (N, C*kh*kw, out_h*out_w)
+    return (
+        windows.transpose(0, 1, 4, 5, 2, 3)
+        .reshape(n, c * kh * kw, out_h * out_w)
+        .astype(np.float32, copy=False)
+    )
+
+
+class CausalConv1D(Layer):
+    """Dilated causal 1-D convolution over ``(T, C)`` inputs (TransLOB)."""
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        dilation: int = 1,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if filters <= 0 or kernel_size <= 0 or dilation <= 0:
+            raise ModelError("filters, kernel_size and dilation must be positive")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+
+    def _build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise ModelError(f"{self.name}: CausalConv1D expects (T, C), got {input_shape}")
+        timesteps, channels = input_shape
+        fan_in = channels * self.kernel_size
+        self.params["weight"] = he_uniform(
+            rng, (self.kernel_size, channels, self.filters), fan_in=fan_in
+        )
+        self.params["bias"] = zeros((self.filters,))
+        return (timesteps, self.filters)
+
+    def _forward(self, x):
+        n, timesteps, channels = x.shape
+        left_pad = (self.kernel_size - 1) * self.dilation
+        padded = np.pad(x, ((0, 0), (left_pad, 0), (0, 0)))
+        out = np.zeros((n, timesteps, self.filters), dtype=np.float32)
+        for k in range(self.kernel_size):
+            start = k * self.dilation
+            out += padded[:, start : start + timesteps, :] @ self.params["weight"][k]
+        return out + self.params["bias"]
+
+    def _macs(self):
+        timesteps, __ = self.input_shape
+        return timesteps * self.filters * self.input_shape[1] * self.kernel_size
+
+    def _aux_ops(self):
+        return int(np.prod(self.output_shape))

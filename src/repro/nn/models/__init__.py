@@ -1,0 +1,21 @@
+"""Benchmark models: the Table-II trio and the Fig-8 complexity sweep."""
+
+from repro.nn.models.deeplob import build_deeplob
+from repro.nn.models.translob import build_translob
+from repro.nn.models.vanilla_cnn import build_vanilla_cnn
+from repro.nn.models.zoo import (
+    BENCHMARK_NAMES,
+    benchmark_models,
+    build_model,
+    complexity_sweep,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "benchmark_models",
+    "build_deeplob",
+    "build_model",
+    "build_translob",
+    "build_vanilla_cnn",
+    "complexity_sweep",
+]

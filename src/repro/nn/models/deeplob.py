@@ -1,0 +1,71 @@
+"""DeepLOB (Zhang, Zohren, Roberts — IEEE TSP 2019).
+
+CNN + Inception + LSTM over the limit-order-book image: three conv blocks
+progressively merge the price/volume columns of the 10-level book
+(40 → 20 → 10 → 1 feature columns), an inception module extracts
+multi-scale temporal features, and an LSTM head captures longer-term
+dynamics before the 3-class softmax.  The heaviest of the paper's three
+benchmarks (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    InceptionModule,
+    LSTM,
+    LeakyReLU,
+    Softmax,
+    ToSequence,
+)
+from repro.nn.model import Model
+
+INPUT_SHAPE = (1, 100, 40)
+NUM_CLASSES = 3
+
+
+def build_deeplob(seed: int = 0, width: int = 16, lstm_units: int = 64) -> Model:
+    """Construct the DeepLOB benchmark model.
+
+    Args:
+        seed: Weight-initialisation seed.
+        width: Conv channel width (16 in the original paper).
+        lstm_units: LSTM hidden size (64 in the original paper).
+    """
+    layers = [
+        # Block 1: fuse (price, volume) pairs -> 20 columns.
+        Conv2D(width, (1, 2), stride=(1, 2), padding="valid", name="b1.reduce"),
+        LeakyReLU(name="b1.act1"),
+        Conv2D(width, (4, 1), padding="same", name="b1.conv1"),
+        LeakyReLU(name="b1.act2"),
+        Conv2D(width, (4, 1), padding="same", name="b1.conv2"),
+        LeakyReLU(name="b1.act3"),
+        # Block 2: fuse bid/ask levels -> 10 columns.
+        Conv2D(width, (1, 2), stride=(1, 2), padding="valid", name="b2.reduce"),
+        LeakyReLU(name="b2.act1"),
+        Conv2D(width, (4, 1), padding="same", name="b2.conv1"),
+        LeakyReLU(name="b2.act2"),
+        Conv2D(width, (4, 1), padding="same", name="b2.conv2"),
+        LeakyReLU(name="b2.act3"),
+        # Block 3: fuse all levels -> 1 column.
+        Conv2D(width, (1, 10), padding="valid", name="b3.reduce"),
+        LeakyReLU(name="b3.act1"),
+        Conv2D(width, (4, 1), padding="same", name="b3.conv1"),
+        LeakyReLU(name="b3.act2"),
+        Conv2D(width, (4, 1), padding="same", name="b3.conv2"),
+        LeakyReLU(name="b3.act3"),
+        # Multi-scale temporal features.
+        InceptionModule(filters=2 * width, name="inception"),
+        ToSequence(name="to_sequence"),
+        LSTM(lstm_units, return_sequences=False, name="lstm"),
+        Dense(NUM_CLASSES, name="fc_out"),
+        Softmax(name="softmax"),
+    ]
+    return Model(
+        name="deeplob",
+        input_shape=INPUT_SHAPE,
+        layers=layers,
+        seed=seed,
+        num_classes=NUM_CLASSES,
+    )

@@ -1,0 +1,69 @@
+"""TransLOB (Wallbridge, 2020): dilated convolutions + transformer blocks.
+
+A stack of dilated causal 1-D convolutions extracts local features from
+the raw 40-feature LOB sequence; layer normalisation and positional
+encoding feed two transformer encoder blocks whose self-attention
+captures long-range structure in noisy high-frequency series; an MLP head
+produces the 3-class movement distribution.  The middle benchmark of the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    CausalConv1D,
+    Dense,
+    LayerNorm,
+    PositionalEncoding,
+    ReLU,
+    Softmax,
+    TakeLast,
+    TransformerBlock,
+)
+from repro.nn.model import Model
+
+INPUT_SHAPE = (100, 40)  # (ticks, LOB features)
+NUM_CLASSES = 3
+
+
+def build_translob(
+    seed: int = 0,
+    conv_filters: int = 14,
+    heads: int = 2,
+    blocks: int = 2,
+) -> Model:
+    """Construct the TransLOB benchmark model.
+
+    Args:
+        seed: Weight-initialisation seed.
+        conv_filters: Channels of the dilated conv stack (14 originally);
+            must be divisible by ``heads``.
+        heads: Attention heads per transformer block.
+        blocks: Number of transformer encoder blocks.
+    """
+    layers = []
+    for i, dilation in enumerate((1, 2, 4, 8, 16)):
+        layers.append(
+            CausalConv1D(conv_filters, kernel_size=2, dilation=dilation, name=f"dconv{i}")
+        )
+        layers.append(ReLU(name=f"dconv{i}.act"))
+    layers.append(LayerNorm(name="norm_in"))
+    layers.append(PositionalEncoding(name="pos_enc"))
+    for i in range(blocks):
+        layers.append(TransformerBlock(heads=heads, name=f"encoder{i}"))
+    layers.extend(
+        [
+            TakeLast(name="take_last"),
+            Dense(64, name="fc1"),
+            ReLU(name="fc1.act"),
+            Dense(NUM_CLASSES, name="fc_out"),
+            Softmax(name="softmax"),
+        ]
+    )
+    return Model(
+        name="translob",
+        input_shape=INPUT_SHAPE,
+        layers=layers,
+        seed=seed,
+        num_classes=NUM_CLASSES,
+    )

@@ -1,0 +1,49 @@
+"""Vanilla CNN price-movement model (Tsantekidis et al., CBI 2017).
+
+The simplest of the paper's three benchmark networks (Table II): a plain
+convolutional stack over the 100-tick × 40-feature LOB image that first
+collapses the feature axis, then convolves and pools along time, ending
+in a small dense classifier over {down, stationary, up}.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, Dense, Flatten, LeakyReLU, MaxPool2D, ReLU, Softmax
+from repro.nn.model import Model
+
+INPUT_SHAPE = (1, 100, 40)  # (channels, ticks, LOB features)
+NUM_CLASSES = 3
+
+
+def build_vanilla_cnn(seed: int = 0, width: int = 16) -> Model:
+    """Construct the vanilla CNN benchmark model.
+
+    Args:
+        seed: Weight-initialisation seed (deterministic build).
+        width: Base channel width; the complexity zoo scales this.
+    """
+    layers = [
+        # Collapse the 40 LOB features in one wide convolution.
+        Conv2D(width, (4, 40), padding="valid", name="conv_features"),
+        ReLU(name="act1"),
+        Conv2D(width, (4, 1), padding="same", name="conv_time1"),
+        ReLU(name="act2"),
+        MaxPool2D((2, 1), name="pool1"),
+        Conv2D(2 * width, (3, 1), padding="same", name="conv_time2"),
+        ReLU(name="act3"),
+        Conv2D(2 * width, (3, 1), padding="same", name="conv_time3"),
+        ReLU(name="act4"),
+        MaxPool2D((2, 1), name="pool2"),
+        Flatten(name="flatten"),
+        Dense(32, name="fc1"),
+        LeakyReLU(name="act5"),
+        Dense(NUM_CLASSES, name="fc_out"),
+        Softmax(name="softmax"),
+    ]
+    return Model(
+        name="vanilla_cnn",
+        input_shape=INPUT_SHAPE,
+        layers=layers,
+        seed=seed,
+        num_classes=NUM_CLASSES,
+    )

@@ -1,0 +1,113 @@
+"""Model zoo: the paper's benchmark trio plus the M1–M5 complexity sweep.
+
+``benchmark_models()`` returns the Table-II trio.  ``complexity_sweep()``
+returns the five models of Figure 8 (M1 simplest … M5 most complex),
+built as a family spanning roughly two orders of magnitude in MACs so
+the response-rate-vs-complexity experiment has a clean x-axis.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, Dense, Flatten, LSTM, LeakyReLU, MaxPool2D, Softmax, ToSequence
+from repro.nn.model import Model
+from repro.nn.models.deeplob import build_deeplob
+from repro.nn.models.translob import build_translob
+from repro.nn.models.vanilla_cnn import build_vanilla_cnn
+
+BENCHMARK_NAMES = ("vanilla_cnn", "translob", "deeplob")
+
+_BUILDERS = {
+    "vanilla_cnn": build_vanilla_cnn,
+    "translob": build_translob,
+    "deeplob": build_deeplob,
+}
+
+
+def build_model(name: str, seed: int = 0) -> Model:
+    """Build a benchmark model by name ('vanilla_cnn' | 'translob' | 'deeplob')."""
+    try:
+        return _BUILDERS[name](seed=seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+
+
+def benchmark_models(seed: int = 0) -> dict[str, Model]:
+    """The Table-II trio, simplest first."""
+    return {name: build_model(name, seed=seed) for name in BENCHMARK_NAMES}
+
+
+def _mlp(name: str, seed: int) -> Model:
+    """M1: pooled-input MLP — the lightest strategy a desk would field."""
+    return Model(
+        name=name,
+        input_shape=(1, 100, 40),
+        layers=[
+            MaxPool2D((4, 4), name="pool"),
+            Flatten(name="flatten"),
+            Dense(32, name="fc1"),
+            LeakyReLU(name="act1"),
+            Dense(16, name="fc2"),
+            LeakyReLU(name="act2"),
+            Dense(3, name="fc_out"),
+            Softmax(name="softmax"),
+        ],
+        seed=seed,
+    )
+
+
+def _small_cnn(name: str, seed: int, width: int) -> Model:
+    """M2/M3: progressively wider CNNs."""
+    return Model(
+        name=name,
+        input_shape=(1, 100, 40),
+        layers=[
+            Conv2D(width, (4, 40), padding="valid", name="conv_features"),
+            LeakyReLU(name="act1"),
+            Conv2D(width, (4, 1), padding="same", name="conv_time"),
+            LeakyReLU(name="act2"),
+            MaxPool2D((2, 1), name="pool"),
+            Flatten(name="flatten"),
+            Dense(32, name="fc1"),
+            LeakyReLU(name="act3"),
+            Dense(3, name="fc_out"),
+            Softmax(name="softmax"),
+        ],
+        seed=seed,
+    )
+
+
+def _cnn_lstm(name: str, seed: int, width: int, lstm_units: int) -> Model:
+    """M5: a heavy CNN + LSTM hybrid (beyond DeepLOB)."""
+    return Model(
+        name=name,
+        input_shape=(1, 100, 40),
+        layers=[
+            Conv2D(width, (1, 2), stride=(1, 2), padding="valid", name="reduce1"),
+            LeakyReLU(name="act1"),
+            Conv2D(width, (4, 1), padding="same", name="conv1"),
+            LeakyReLU(name="act2"),
+            Conv2D(width, (1, 20), padding="valid", name="reduce2"),
+            LeakyReLU(name="act3"),
+            Conv2D(2 * width, (4, 1), padding="same", name="conv2"),
+            LeakyReLU(name="act4"),
+            ToSequence(name="to_sequence"),
+            LSTM(lstm_units, return_sequences=True, name="lstm1"),
+            LSTM(lstm_units, return_sequences=False, name="lstm2"),
+            Dense(3, name="fc_out"),
+            Softmax(name="softmax"),
+        ],
+        seed=seed,
+    )
+
+
+def complexity_sweep(seed: int = 0) -> dict[str, Model]:
+    """The M1..M5 family of Figure 8, monotonically increasing in MACs."""
+    return {
+        "M1": _mlp("M1", seed),
+        "M2": _small_cnn("M2", seed, width=8),
+        "M3": build_vanilla_cnn(seed=seed, width=24),
+        "M4": build_deeplob(seed=seed, width=12, lstm_units=48),
+        "M5": _cnn_lstm("M5", seed, width=32, lstm_units=128),
+    }

@@ -1,0 +1,30 @@
+"""Trading + DNN pipeline stages: offload, DMA, trading engine, feed handler."""
+
+from repro.pipeline.dma import DMA_SETUP_NS, DMAModel
+from repro.pipeline.feed_handler import FeedHandler, LocalBookMirror
+from repro.pipeline.latency import DEFAULT_STAGES, StageLatencies
+from repro.pipeline.offload import NormalizationStats, OffloadEngine, Query
+from repro.pipeline.trading_engine import (
+    Prediction,
+    RiskCounters,
+    RiskLimits,
+    TradeDecision,
+    TradingEngine,
+)
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "DMAModel",
+    "DMA_SETUP_NS",
+    "FeedHandler",
+    "LocalBookMirror",
+    "NormalizationStats",
+    "OffloadEngine",
+    "Prediction",
+    "Query",
+    "RiskCounters",
+    "RiskLimits",
+    "StageLatencies",
+    "TradeDecision",
+    "TradingEngine",
+]

@@ -1,0 +1,51 @@
+"""DMA transfer timing between the FPGA's L2 and accelerator DMEM.
+
+The DMA module moves input tensors from the offload engine to the
+accelerator over the C2C interface and brings inference results back
+(paper §III-A/B).  Transfer time is the batch's payload over the link's
+effective bandwidth plus a per-descriptor setup cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.c2c import C2CLinkConfig
+from repro.errors import SchedulingError
+
+# Per-transfer descriptor setup/interrupt overhead.
+DMA_SETUP_NS = 400
+
+
+@dataclass(frozen=True)
+class DMAModel:
+    """Batch transfer cost model.
+
+    Attributes:
+        link: The chip-to-chip link carrying the traffic.
+        tensor_bytes: Input tensor payload per sample (BF16 100×40 map).
+        result_bytes: Inference output per sample (3-class logits + tag).
+    """
+
+    link: C2CLinkConfig = C2CLinkConfig()
+    tensor_bytes: int = 100 * 40 * 2
+    result_bytes: int = 16
+
+    def input_transfer_ns(self, batch_size: int) -> int:
+        """Host→accelerator time for a batch of input tensors."""
+        self._check(batch_size)
+        return DMA_SETUP_NS + self.link.transfer_ns(batch_size * self.tensor_bytes)
+
+    def result_transfer_ns(self, batch_size: int) -> int:
+        """Accelerator→host time for a batch of results."""
+        self._check(batch_size)
+        return DMA_SETUP_NS + self.link.transfer_ns(batch_size * self.result_bytes)
+
+    def round_trip_ns(self, batch_size: int) -> int:
+        """Total DMA time charged to one batch (t_trans in Algorithm 1)."""
+        return self.input_transfer_ns(batch_size) + self.result_transfer_ns(batch_size)
+
+    @staticmethod
+    def _check(batch_size: int) -> None:
+        if batch_size <= 0:
+            raise SchedulingError(f"batch size must be positive, got {batch_size}")

@@ -1,0 +1,101 @@
+"""Feed handler: wire frames → parsed events → mirrored local book.
+
+The functional front half of the trading pipeline: consumes raw UDP
+frames, routes decoded market events through a *local* limit order book
+mirror (the few-lowest-levels copy the paper describes) and emits depth
+snapshots for the offload engine.  The timing simulator charges this
+work via :class:`repro.pipeline.latency.StageLatencies`; this class is
+the functional counterpart used by examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.lob.book import LimitOrderBook
+from repro.lob.events import BookUpdate, MarketEvent, TradeTick, UpdateAction
+from repro.lob.order import Order, Side
+from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
+from repro.protocol.parser import PacketParser
+
+
+@dataclass
+class LocalBookMirror:
+    """Aggregate price-level mirror of the exchange book for one symbol.
+
+    The mirror stores one synthetic order per price level sized to the
+    published aggregate volume — exactly the information the feed
+    carries — so it supports snapshotting without the exchange's
+    order-by-order detail.
+    """
+
+    symbol: str
+    book: LimitOrderBook = field(init=False)
+    _level_orders: dict[tuple[Side, int], int] = field(default_factory=dict)
+    last_trade_price: int | None = None
+    last_trade_quantity: int = 0
+
+    def __post_init__(self) -> None:
+        self.book = LimitOrderBook(self.symbol)
+
+    def apply(self, event: MarketEvent) -> None:
+        """Apply one decoded market event to the mirror."""
+        if isinstance(event, TradeTick):
+            self.last_trade_price = event.price
+            self.last_trade_quantity = event.quantity
+            return
+        if not isinstance(event, BookUpdate):
+            raise ProtocolError(f"unknown event type {type(event).__name__}")
+        key = (event.side, event.price)
+        existing = self._level_orders.pop(key, None)
+        if existing is not None and existing in self.book:
+            self.book.remove(existing)
+        if event.action is UpdateAction.DELETE or event.volume <= 0:
+            return
+        order = Order(side=event.side, price=event.price, quantity=event.volume)
+        self.book.insert(order)
+        self._level_orders[key] = order.order_id
+
+    def snapshot(self, timestamp: int, depth: int = CANONICAL_DEPTH) -> DepthSnapshot:
+        """Depth snapshot of the mirrored book."""
+        return DepthSnapshot.capture(
+            self.book,
+            timestamp=timestamp,
+            depth=depth,
+            last_trade_price=self.last_trade_price,
+            last_trade_quantity=self.last_trade_quantity,
+        )
+
+
+class FeedHandler:
+    """Parser + per-symbol book mirrors."""
+
+    def __init__(self, parser: PacketParser) -> None:
+        self.parser = parser
+        self.mirrors: dict[str, LocalBookMirror] = {}
+        self.ticks_seen = 0
+
+    def mirror(self, symbol: str) -> LocalBookMirror:
+        """The mirror for ``symbol``, created on first use."""
+        mirror = self.mirrors.get(symbol)
+        if mirror is None:
+            mirror = LocalBookMirror(symbol)
+            self.mirrors[symbol] = mirror
+        return mirror
+
+    def on_frame(self, frame: bytes) -> list[DepthSnapshot]:
+        """Process one wire frame; returns post-update snapshots
+        (one per symbol touched by the frame)."""
+        packet = self.parser.parse_frame(frame)
+        if packet is None:
+            return []
+        touched: dict[str, int] = {}
+        for event in packet.events:
+            self.mirror(event.symbol).apply(event)
+            touched[event.symbol] = packet.transact_time
+        self.ticks_seen += 1
+        return [
+            self.mirrors[symbol].snapshot(timestamp)
+            for symbol, timestamp in touched.items()
+        ]

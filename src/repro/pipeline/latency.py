@@ -1,0 +1,46 @@
+"""Trading-pipeline stage latencies on the FPGA.
+
+The conventional (non-AI) tick-to-trade path on an FPGA is roughly one
+microsecond end to end (paper §II-A); these constants split that budget
+across the stages of Fig. 4(b).  They enter the simulator as fixed
+per-query costs on either side of the DNN pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageLatencies:
+    """Fixed FPGA stage costs in nanoseconds."""
+
+    ethernet_udp_ns: int = 250  # MAC/IP/UDP ingest
+    packet_parse_ns: int = 150  # SBE decode + filtering
+    book_update_ns: int = 120  # local LOB maintenance
+    offload_ns: int = 180  # Z-score, BF16, FIFO stacking
+    order_generation_ns: int = 200  # risk checks + order build
+    order_encode_ns: int = 100  # iLink3/FIX encode + TCP egress
+
+    @property
+    def pre_inference_ns(self) -> int:
+        """Cost from wire arrival to a ready input tensor."""
+        return (
+            self.ethernet_udp_ns
+            + self.packet_parse_ns
+            + self.book_update_ns
+            + self.offload_ns
+        )
+
+    @property
+    def post_inference_ns(self) -> int:
+        """Cost from inference result to order on the wire."""
+        return self.order_generation_ns + self.order_encode_ns
+
+    @property
+    def total_ns(self) -> int:
+        """Conventional tick-to-trade excluding the DNN pipeline (~1 µs)."""
+        return self.pre_inference_ns + self.post_inference_ns
+
+
+DEFAULT_STAGES = StageLatencies()

@@ -1,0 +1,196 @@
+"""Offload engine: LOB data → normalised BF16 input tensors (paper Fig. 5).
+
+The offload engine converts each tick's LOB snapshot into a feature
+vector (market-protocol integers → BF16), Z-score-normalises it against
+statistics fitted on historical data, stacks the most recent ``window``
+vectors in a FIFO to form the model's 2-D input feature map, and queues
+the resulting query for the DNN pipeline.  It also owns stale-query
+management: queries whose deadline has passed are dropped before wasting
+accelerator time, and the oldest query is evicted when the scheduler
+finds no feasible offloading option (Algorithm 1's fallback).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.lob.snapshot import DepthSnapshot
+from repro.market.replay import TickTape
+from repro.nn.precision import to_bf16
+
+
+@dataclass(frozen=True)
+class NormalizationStats:
+    """Per-feature Z-score statistics fitted on historical market data."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, tape: TickTape) -> "NormalizationStats":
+        """Fit mean/std per feature over a historical tape."""
+        if len(tape) < 2:
+            raise SchedulingError("need at least two ticks to fit normalisation")
+        features = tape.feature_matrix()
+        std = features.std(axis=0)
+        std[std == 0] = 1.0  # constant features normalise to zero, not NaN
+        return cls(mean=features.mean(axis=0), std=std)
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Z-score ``vector`` and quantise to BF16."""
+        return to_bf16((vector - self.mean) / self.std)
+
+
+@dataclass
+class Query:
+    """One tick's inference request flowing through the DNN pipeline."""
+
+    query_id: int
+    tick_index: int
+    arrival: int  # ns: when the tick reached the offload engine
+    deadline: int  # ns: latest useful completion (t_avail boundary)
+    tensor: np.ndarray | None = None  # (window, features) when materialised
+    issue_time: int | None = None
+    completion_time: int | None = None
+    dropped: bool = False
+
+    @property
+    def completed(self) -> bool:
+        """True once an inference result came back."""
+        return self.completion_time is not None
+
+    def in_time(self) -> bool:
+        """True when the query completed within its deadline."""
+        return self.completed and self.completion_time <= self.deadline
+
+
+class OffloadEngine:
+    """FIFO feature stacking plus the pending-query queue."""
+
+    def __init__(
+        self,
+        stats: NormalizationStats | None = None,
+        window: int = 100,
+        max_pending: int = 256,
+        store_tensors: bool = False,
+    ) -> None:
+        if window <= 0:
+            raise SchedulingError(f"window must be positive, got {window}")
+        if max_pending <= 0:
+            raise SchedulingError(f"max_pending must be positive, got {max_pending}")
+        self.stats = stats
+        self.window = window
+        self.max_pending = max_pending
+        self.store_tensors = store_tensors
+        self._fifo: deque[np.ndarray] = deque(maxlen=window)
+        self._pending: deque[Query] = deque()
+        self._next_id = 0
+        self.dropped_overflow = 0
+        self.dropped_stale = 0
+        self.dropped_unschedulable = 0
+
+    # -- ingest ------------------------------------------------------------------
+
+    def on_tick(
+        self,
+        snapshot: DepthSnapshot,
+        arrival: int,
+        deadline: int,
+        tick_index: int = -1,
+    ) -> Query | None:
+        """Ingest one tick; returns the queued Query or None during warm-up.
+
+        During the first ``window - 1`` ticks there is not yet a full
+        input feature map, so no query is generated (the FIFO warms up).
+        """
+        if self.store_tensors:
+            vector = snapshot.feature_vector()
+            if self.stats is not None:
+                vector = self.stats.apply(vector)
+            self._fifo.append(vector)
+            if len(self._fifo) < self.window:
+                return None
+            tensor = np.stack(self._fifo)
+        else:
+            # Timing-only mode: track warm-up without materialising data.
+            self._fifo.append(np.empty(0))
+            if len(self._fifo) < self.window:
+                return None
+            tensor = None
+
+        query = Query(
+            query_id=self._next_id,
+            tick_index=tick_index,
+            arrival=arrival,
+            deadline=deadline,
+            tensor=tensor,
+        )
+        self._next_id += 1
+        if len(self._pending) >= self.max_pending:
+            # Input queue overflow: drop the oldest pending query (tail-drop
+            # of stale data, keeping the freshest market state).
+            victim = self._pending.popleft()
+            victim.dropped = True
+            self.dropped_overflow += 1
+        self._pending.append(query)
+        return query
+
+    # -- queue management ----------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Queries waiting to be issued."""
+        return len(self._pending)
+
+    def peek_pending(self) -> Query | None:
+        """The oldest pending query, if any."""
+        return self._pending[0] if self._pending else None
+
+    def pending_deadlines(self, k: int) -> list[int]:
+        """Deadlines of the first ``k`` pending queries, FIFO order."""
+        out = []
+        for query in self._pending:
+            out.append(query.deadline)
+            if len(out) == k:
+                break
+        return out
+
+    def pop_batch(self, batch_size: int) -> list[Query]:
+        """Dequeue up to ``batch_size`` oldest queries for one batch issue."""
+        if batch_size <= 0:
+            raise SchedulingError(f"batch size must be positive, got {batch_size}")
+        batch = []
+        while self._pending and len(batch) < batch_size:
+            batch.append(self._pending.popleft())
+        return batch
+
+    def drop_oldest(self) -> Query | None:
+        """Evict the oldest pending query (Algorithm 1's fallback path)."""
+        if not self._pending:
+            return None
+        query = self._pending.popleft()
+        query.dropped = True
+        self.dropped_unschedulable += 1
+        return query
+
+    def drop_stale(self, now: int) -> list[Query]:
+        """Drop every pending query whose deadline has already passed."""
+        dropped = []
+        kept: deque[Query] = deque()
+        for query in self._pending:
+            if query.deadline <= now:
+                query.dropped = True
+                self.dropped_stale += 1
+                dropped.append(query)
+            else:
+                kept.append(query)
+        self._pending = kept
+        return dropped
+
+    @property
+    def total_dropped(self) -> int:
+        """All queries dropped for any reason."""
+        return self.dropped_overflow + self.dropped_stale + self.dropped_unschedulable

@@ -1,0 +1,173 @@
+"""Trading engine: inference results → risk-checked exchange orders.
+
+Post-processes the DNN pipeline's output (paper §III-A): maps the
+predicted movement distribution to an order intent, runs it through the
+conventional risk-check logic that guards the AI's black-box behaviour
+(confidence floor, position limits, order-rate throttle, price sanity
+bands), and encodes accepted orders in the exchange's binary format
+(iLink3; FIX is available via :mod:`repro.protocol.fix`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.lob.order import Side
+from repro.lob.snapshot import DepthSnapshot
+from repro.protocol.ilink3 import ILink3Order
+from repro.units import NS_PER_SEC
+
+
+class Prediction(enum.IntEnum):
+    """Class indices of the movement models (DeepLOB convention)."""
+
+    DOWN = 0
+    STATIONARY = 1
+    UP = 2
+
+
+@dataclass(frozen=True)
+class RiskLimits:
+    """The trading engine's conventional risk-check parameters."""
+
+    min_confidence: float = 0.45  # act only on confident predictions
+    max_position: int = 20  # absolute contract inventory bound
+    max_orders_per_second: float = 2_000.0
+    max_ticks_from_mid: int = 10  # price sanity band around the mid
+    order_quantity: int = 1
+
+
+@dataclass
+class RiskCounters:
+    """Why orders were suppressed (for the risk report)."""
+
+    low_confidence: int = 0
+    stationary: int = 0
+    position_limit: int = 0
+    rate_limit: int = 0
+    no_market: int = 0
+    accepted: int = 0
+
+
+@dataclass
+class TradeDecision:
+    """Outcome of post-processing one inference result."""
+
+    prediction: Prediction
+    side: Side | None
+    price: int | None
+    quantity: int
+    encoded: bytes | None
+    reason: str
+
+    @property
+    def acted(self) -> bool:
+        """True when an order was generated."""
+        return self.encoded is not None
+
+
+class TradingEngine:
+    """Stateful order generation with inventory and rate accounting."""
+
+    def __init__(
+        self,
+        security_id: int = 1,
+        limits: RiskLimits | None = None,
+    ) -> None:
+        self.security_id = security_id
+        self.limits = limits or RiskLimits()
+        self.position = 0
+        self.counters = RiskCounters()
+        self._seq = 0
+        self._order_times: list[int] = []  # recent order timestamps (ns)
+
+    def on_inference(
+        self,
+        probabilities: np.ndarray,
+        snapshot: DepthSnapshot,
+        now: int,
+    ) -> TradeDecision:
+        """Turn one prediction into (at most) one risk-checked order."""
+        probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+        if probabilities.shape != (3,):
+            raise SchedulingError(
+                f"expected 3-class probabilities, got shape {probabilities.shape}"
+            )
+        prediction = Prediction(int(np.argmax(probabilities)))
+        confidence = float(probabilities[prediction])
+
+        if prediction is Prediction.STATIONARY:
+            self.counters.stationary += 1
+            return self._no_action(prediction, "stationary prediction")
+        if confidence < self.limits.min_confidence:
+            self.counters.low_confidence += 1
+            return self._no_action(prediction, f"confidence {confidence:.2f} below floor")
+
+        side = Side.BID if prediction is Prediction.UP else Side.ASK
+        new_position = self.position + side.sign * self.limits.order_quantity
+        if abs(new_position) > self.limits.max_position:
+            self.counters.position_limit += 1
+            return self._no_action(prediction, "position limit")
+        if not self._rate_ok(now):
+            self.counters.rate_limit += 1
+            return self._no_action(prediction, "order rate throttle")
+
+        price = self._select_price(side, snapshot)
+        if price is None:
+            self.counters.no_market += 1
+            return self._no_action(prediction, "one-sided or empty market")
+
+        self._seq += 1
+        order = ILink3Order(
+            seq_num=self._seq,
+            sending_time=now,
+            cl_ord_id=self._seq,
+            security_id=self.security_id,
+            side=side,
+            order_qty=self.limits.order_quantity,
+            price=price,
+            ioc=True,
+        )
+        self.position = new_position
+        self._order_times.append(now)
+        self.counters.accepted += 1
+        return TradeDecision(
+            prediction=prediction,
+            side=side,
+            price=price,
+            quantity=self.limits.order_quantity,
+            encoded=order.encode(),
+            reason="accepted",
+        )
+
+    def _select_price(self, side: Side, snapshot: DepthSnapshot) -> int | None:
+        """Cross the touch, clamped to the sanity band around the mid."""
+        mid = snapshot.mid_price
+        if mid is None:
+            return None
+        touch = snapshot.best_ask if side is Side.BID else snapshot.best_bid
+        assert touch is not None  # mid implies both sides present
+        band = self.limits.max_ticks_from_mid
+        low, high = int(mid) - band, int(round(mid)) + band
+        return min(max(touch, low), high)
+
+    def _rate_ok(self, now: int) -> bool:
+        """Sliding one-second window order-rate throttle."""
+        horizon = now - NS_PER_SEC
+        self._order_times = [t for t in self._order_times if t > horizon]
+        return len(self._order_times) < self.limits.max_orders_per_second
+
+    @staticmethod
+    def _no_action(prediction: Prediction, reason: str) -> TradeDecision:
+        return TradeDecision(
+            prediction=prediction,
+            side=None,
+            price=None,
+            quantity=0,
+            encoded=None,
+            reason=reason,
+        )

@@ -1,0 +1,204 @@
+"""FIX 4.4 tag=value codec for order-entry messages.
+
+The trading engine encodes generated orders as FIX NewOrderSingle /
+OrderCancelRequest messages (paper §III-A: "LightTrader supports the FIX
+message protocol ... by storing the message templates at the on-chip
+SRAM").  We implement the session framing (BeginString / BodyLength /
+CheckSum) and the application fields needed for order entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, ProtocolError
+from repro.lob.order import Side
+
+SOH = b"\x01"
+BEGIN_STRING = b"FIX.4.4"
+
+# Tag numbers used by this codec.
+TAG_BEGIN_STRING = 8
+TAG_BODY_LENGTH = 9
+TAG_CHECKSUM = 10
+TAG_CL_ORD_ID = 11
+TAG_MSG_SEQ_NUM = 34
+TAG_MSG_TYPE = 35
+TAG_ORDER_QTY = 38
+TAG_ORD_TYPE = 40
+TAG_ORIG_CL_ORD_ID = 41
+TAG_PRICE = 44
+TAG_SENDER_COMP_ID = 49
+TAG_SENDING_TIME = 52
+TAG_SIDE = 54
+TAG_SYMBOL = 55
+TAG_TARGET_COMP_ID = 56
+TAG_TIME_IN_FORCE = 59
+
+MSG_NEW_ORDER_SINGLE = "D"
+MSG_ORDER_CANCEL_REQUEST = "F"
+MSG_ORDER_CANCEL_REPLACE = "G"
+
+_FIX_SIDE = {Side.BID: "1", Side.ASK: "2"}
+_FIX_SIDE_INV = {"1": Side.BID, "2": Side.ASK}
+
+
+def compute_checksum(data: bytes) -> int:
+    """FIX checksum: byte sum modulo 256 over everything before tag 10."""
+    return sum(data) % 256
+
+
+def encode_fields(fields: list[tuple[int, str]]) -> bytes:
+    """Assemble a full FIX message from body ``fields`` (tag order kept).
+
+    BeginString, BodyLength and CheckSum are computed here and must not
+    appear in ``fields``.
+    """
+    for tag, __ in fields:
+        if tag in (TAG_BEGIN_STRING, TAG_BODY_LENGTH, TAG_CHECKSUM):
+            raise ProtocolError(f"tag {tag} is managed by the codec")
+    body = b"".join(f"{tag}={value}".encode() + SOH for tag, value in fields)
+    head = b"8=" + BEGIN_STRING + SOH + f"9={len(body)}".encode() + SOH
+    checksum = compute_checksum(head + body)
+    return head + body + f"10={checksum:03d}".encode() + SOH
+
+
+def decode_fields(message: bytes) -> list[tuple[int, str]]:
+    """Split a FIX message into (tag, value) pairs, validating the frame.
+
+    Raises:
+        ProtocolError: malformed framing or body length mismatch.
+        ChecksumError: checksum mismatch.
+    """
+    if not message.endswith(SOH):
+        raise ProtocolError("FIX message must end with SOH")
+    fields: list[tuple[int, str]] = []
+    for part in message.split(SOH)[:-1]:
+        tag_str, sep, value = part.partition(b"=")
+        if not sep:
+            raise ProtocolError(f"field without '=': {part!r}")
+        try:
+            fields.append((int(tag_str), value.decode()))
+        except ValueError:
+            raise ProtocolError(f"non-numeric tag {tag_str!r}") from None
+    if len(fields) < 3 or fields[0][0] != TAG_BEGIN_STRING:
+        raise ProtocolError("message must start with BeginString (8)")
+    if fields[1][0] != TAG_BODY_LENGTH:
+        raise ProtocolError("second field must be BodyLength (9)")
+    if fields[-1][0] != TAG_CHECKSUM:
+        raise ProtocolError("message must end with CheckSum (10)")
+
+    checksum_field = f"10={fields[-1][1]}".encode() + SOH
+    expected = compute_checksum(message[: len(message) - len(checksum_field)])
+    if int(fields[-1][1]) != expected:
+        raise ChecksumError(
+            f"FIX checksum mismatch: declared {fields[-1][1]}, computed {expected:03d}"
+        )
+
+    head_len = len(b"8=" + BEGIN_STRING + SOH) + len(f"9={fields[1][1]}") + 1
+    body_len = len(message) - head_len - len(checksum_field)
+    if int(fields[1][1]) != body_len:
+        raise ProtocolError(
+            f"BodyLength mismatch: declared {fields[1][1]}, actual {body_len}"
+        )
+    return fields
+
+
+@dataclass(frozen=True)
+class NewOrderSingle:
+    """Application view of a FIX NewOrderSingle (35=D)."""
+
+    cl_ord_id: str
+    symbol: str
+    side: Side
+    quantity: int
+    price: float | None  # None = market order
+    sending_time_ns: int
+    sender: str = "LIGHTTRADER"
+    target: str = "CME"
+    seq_num: int = 1
+
+    def encode(self) -> bytes:
+        """Serialise to FIX bytes."""
+        fields = [
+            (TAG_MSG_TYPE, MSG_NEW_ORDER_SINGLE),
+            (TAG_SENDER_COMP_ID, self.sender),
+            (TAG_TARGET_COMP_ID, self.target),
+            (TAG_MSG_SEQ_NUM, str(self.seq_num)),
+            (TAG_SENDING_TIME, str(self.sending_time_ns)),
+            (TAG_CL_ORD_ID, self.cl_ord_id),
+            (TAG_SYMBOL, self.symbol),
+            (TAG_SIDE, _FIX_SIDE[self.side]),
+            (TAG_ORDER_QTY, str(self.quantity)),
+            (TAG_ORD_TYPE, "2" if self.price is not None else "1"),
+        ]
+        if self.price is not None:
+            fields.append((TAG_PRICE, f"{self.price}"))
+        fields.append((TAG_TIME_IN_FORCE, "0"))
+        return encode_fields(fields)
+
+    @classmethod
+    def decode(cls, message: bytes) -> "NewOrderSingle":
+        """Parse FIX bytes back into a NewOrderSingle."""
+        pairs = dict(decode_fields(message))
+        if pairs.get(TAG_MSG_TYPE) != MSG_NEW_ORDER_SINGLE:
+            raise ProtocolError(f"not a NewOrderSingle: 35={pairs.get(TAG_MSG_TYPE)}")
+        price = float(pairs[TAG_PRICE]) if TAG_PRICE in pairs else None
+        return cls(
+            cl_ord_id=pairs[TAG_CL_ORD_ID],
+            symbol=pairs[TAG_SYMBOL],
+            side=_FIX_SIDE_INV[pairs[TAG_SIDE]],
+            quantity=int(pairs[TAG_ORDER_QTY]),
+            price=price,
+            sending_time_ns=int(pairs[TAG_SENDING_TIME]),
+            sender=pairs[TAG_SENDER_COMP_ID],
+            target=pairs[TAG_TARGET_COMP_ID],
+            seq_num=int(pairs[TAG_MSG_SEQ_NUM]),
+        )
+
+
+@dataclass(frozen=True)
+class OrderCancelRequest:
+    """Application view of a FIX OrderCancelRequest (35=F)."""
+
+    cl_ord_id: str
+    orig_cl_ord_id: str
+    symbol: str
+    side: Side
+    sending_time_ns: int
+    sender: str = "LIGHTTRADER"
+    target: str = "CME"
+    seq_num: int = 1
+
+    def encode(self) -> bytes:
+        """Serialise to FIX bytes."""
+        return encode_fields(
+            [
+                (TAG_MSG_TYPE, MSG_ORDER_CANCEL_REQUEST),
+                (TAG_SENDER_COMP_ID, self.sender),
+                (TAG_TARGET_COMP_ID, self.target),
+                (TAG_MSG_SEQ_NUM, str(self.seq_num)),
+                (TAG_SENDING_TIME, str(self.sending_time_ns)),
+                (TAG_CL_ORD_ID, self.cl_ord_id),
+                (TAG_ORIG_CL_ORD_ID, self.orig_cl_ord_id),
+                (TAG_SYMBOL, self.symbol),
+                (TAG_SIDE, _FIX_SIDE[self.side]),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, message: bytes) -> "OrderCancelRequest":
+        """Parse FIX bytes back into an OrderCancelRequest."""
+        pairs = dict(decode_fields(message))
+        if pairs.get(TAG_MSG_TYPE) != MSG_ORDER_CANCEL_REQUEST:
+            raise ProtocolError(f"not an OrderCancelRequest: 35={pairs.get(TAG_MSG_TYPE)}")
+        return cls(
+            cl_ord_id=pairs[TAG_CL_ORD_ID],
+            orig_cl_ord_id=pairs[TAG_ORIG_CL_ORD_ID],
+            symbol=pairs[TAG_SYMBOL],
+            side=_FIX_SIDE_INV[pairs[TAG_SIDE]],
+            sending_time_ns=int(pairs[TAG_SENDING_TIME]),
+            sender=pairs[TAG_SENDER_COMP_ID],
+            target=pairs[TAG_TARGET_COMP_ID],
+            seq_num=int(pairs[TAG_MSG_SEQ_NUM]),
+        )

@@ -1,0 +1,120 @@
+"""Ethernet / IPv4 / UDP framing for the simulated market-data feed.
+
+The trading pipeline's first stage strips network headers from raw frames
+(paper Fig. 2(b), "Ethernet/UDP module").  We implement real header
+packing/unpacking, including the IPv4 header checksum, so the feed handler
+exercises the same parsing work a hardware pipeline performs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, ProtocolError
+
+ETHERTYPE_IPV4 = 0x0800
+IP_PROTO_UDP = 17
+
+_ETH_HEADER = struct.Struct("!6s6sH")
+_IP_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+ETH_HEADER_LEN = _ETH_HEADER.size  # 14
+IP_HEADER_LEN = _IP_HEADER.size  # 20
+UDP_HEADER_LEN = _UDP_HEADER.size  # 8
+TOTAL_HEADER_LEN = ETH_HEADER_LEN + IP_HEADER_LEN + UDP_HEADER_LEN
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Decoded addressing info of a UDP frame."""
+
+    src_mac: bytes
+    dst_mac: bytes
+    src_ip: bytes
+    dst_ip: bytes
+    src_port: int
+    dst_port: int
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """RFC 791 ones'-complement checksum over a (checksum-zeroed) header."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def encode_udp_frame(
+    payload: bytes,
+    src_port: int = 14_310,
+    dst_port: int = 14_310,
+    src_ip: bytes = b"\xc0\xa8\x01\x01",
+    dst_ip: bytes = b"\xe0\x00\x01\x01",
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x01\x00\x5e\x00\x01\x01",
+) -> bytes:
+    """Wrap ``payload`` into an Ethernet+IPv4+UDP frame (defaults mimic a
+    multicast market-data feed)."""
+    if len(payload) > 0xFFFF - IP_HEADER_LEN - UDP_HEADER_LEN:
+        raise ProtocolError(f"payload too large for one frame: {len(payload)} bytes")
+    udp_len = UDP_HEADER_LEN + len(payload)
+    udp = _UDP_HEADER.pack(src_port, dst_port, udp_len, 0)  # checksum 0 = unused
+    ip_total = IP_HEADER_LEN + udp_len
+    ip_no_sum = _IP_HEADER.pack(
+        0x45, 0, ip_total, 0, 0, 64, IP_PROTO_UDP, 0, src_ip, dst_ip
+    )
+    checksum = ipv4_checksum(ip_no_sum)
+    ip = _IP_HEADER.pack(
+        0x45, 0, ip_total, 0, 0, 64, IP_PROTO_UDP, checksum, src_ip, dst_ip
+    )
+    eth = _ETH_HEADER.pack(dst_mac, src_mac, ETHERTYPE_IPV4)
+    return eth + ip + udp + payload
+
+
+def decode_udp_frame(frame: bytes) -> tuple[FrameInfo, bytes]:
+    """Strip Ethernet/IPv4/UDP headers, validating lengths and checksum.
+
+    Returns:
+        (frame info, UDP payload bytes)
+
+    Raises:
+        ProtocolError: on malformed frames.
+        ChecksumError: when the IPv4 header checksum does not verify.
+    """
+    if len(frame) < TOTAL_HEADER_LEN:
+        raise ProtocolError(f"frame too short: {len(frame)} bytes")
+    dst_mac, src_mac, ethertype = _ETH_HEADER.unpack_from(frame, 0)
+    if ethertype != ETHERTYPE_IPV4:
+        raise ProtocolError(f"unexpected ethertype 0x{ethertype:04x}")
+
+    ip_bytes = frame[ETH_HEADER_LEN : ETH_HEADER_LEN + IP_HEADER_LEN]
+    (ver_ihl, __, ip_total, __, __, __, proto, __, src_ip, dst_ip) = _IP_HEADER.unpack(
+        ip_bytes
+    )
+    if ver_ihl != 0x45:
+        raise ProtocolError(f"unsupported IP version/IHL 0x{ver_ihl:02x}")
+    if proto != IP_PROTO_UDP:
+        raise ProtocolError(f"not UDP (protocol {proto})")
+    zeroed = ip_bytes[:10] + b"\x00\x00" + ip_bytes[12:]
+    if ipv4_checksum(zeroed) != struct.unpack("!H", ip_bytes[10:12])[0]:
+        raise ChecksumError("IPv4 header checksum mismatch")
+
+    udp_off = ETH_HEADER_LEN + IP_HEADER_LEN
+    src_port, dst_port, udp_len, __ = _UDP_HEADER.unpack_from(frame, udp_off)
+    payload_len = udp_len - UDP_HEADER_LEN
+    if payload_len < 0 or udp_off + udp_len > len(frame):
+        raise ProtocolError(f"UDP length {udp_len} inconsistent with frame")
+    payload = frame[udp_off + UDP_HEADER_LEN : udp_off + udp_len]
+    info = FrameInfo(
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+    )
+    return info, payload

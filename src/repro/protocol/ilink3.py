@@ -1,0 +1,171 @@
+"""iLink3-style binary order entry (SOFH + SBE order messages).
+
+CME's iLink3 carries order-entry messages as SBE wrapped in a Simple Open
+Framing Header (SOFH).  The trading engine prefers this binary path for
+latency; the FIX codec in :mod:`repro.protocol.fix` is the text fallback.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.lob.order import Side
+from repro.protocol.sbe import (
+    FieldSpec,
+    MessageSchema,
+    decode_message,
+    encode_message,
+    peek_template_id,
+)
+
+# Simple Open Framing Header: message length (incl. SOFH) + encoding id.
+_SOFH = struct.Struct(">HH")
+SOFH_LEN = _SOFH.size
+SOFH_ENCODING_SBE_LE = 0xCAFE
+
+NEW_ORDER_SINGLE_514 = MessageSchema(
+    name="NewOrderSingle514",
+    template_id=514,
+    root_fields=(
+        FieldSpec("seq_num", "I"),
+        FieldSpec("sending_time", "Q"),  # ns
+        FieldSpec("cl_ord_id", "Q"),
+        FieldSpec("security_id", "i"),
+        FieldSpec("price", "q"),  # integer ticks; sentinel for market orders
+        FieldSpec("order_qty", "i"),
+        FieldSpec("side", "B"),  # 1 = buy, 2 = sell
+        FieldSpec("ord_type", "B"),  # 1 = market, 2 = limit
+        FieldSpec("time_in_force", "B"),  # 0 = day, 3 = IOC
+    ),
+)
+
+CANCEL_ORDER_516 = MessageSchema(
+    name="OrderCancelRequest516",
+    template_id=516,
+    root_fields=(
+        FieldSpec("seq_num", "I"),
+        FieldSpec("sending_time", "Q"),
+        FieldSpec("cl_ord_id", "Q"),
+        FieldSpec("orig_cl_ord_id", "Q"),
+        FieldSpec("security_id", "i"),
+        FieldSpec("side", "B"),
+    ),
+)
+
+PRICE_NULL = -(2**62)  # sentinel for "no price" (market order)
+
+
+@dataclass(frozen=True)
+class ILink3Order:
+    """Application view of an iLink3 NewOrderSingle."""
+
+    seq_num: int
+    sending_time: int
+    cl_ord_id: int
+    security_id: int
+    side: Side
+    order_qty: int
+    price: int | None  # integer ticks; None = market
+    ioc: bool = False
+
+    def encode(self) -> bytes:
+        """Serialise as SOFH + SBE bytes."""
+        body = encode_message(
+            NEW_ORDER_SINGLE_514,
+            {
+                "seq_num": self.seq_num,
+                "sending_time": self.sending_time,
+                "cl_ord_id": self.cl_ord_id,
+                "security_id": self.security_id,
+                "price": self.price if self.price is not None else PRICE_NULL,
+                "order_qty": self.order_qty,
+                "side": 1 if self.side is Side.BID else 2,
+                "ord_type": 2 if self.price is not None else 1,
+                "time_in_force": 3 if self.ioc else 0,
+            },
+        )
+        return frame_sofh(body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ILink3Order":
+        """Parse SOFH + SBE bytes back into an order."""
+        body = unframe_sofh(data)
+        if peek_template_id(body) != NEW_ORDER_SINGLE_514.template_id:
+            raise ProtocolError("not a NewOrderSingle514 message")
+        msg = decode_message(NEW_ORDER_SINGLE_514, body)
+        price = None if msg["price"] == PRICE_NULL else msg["price"]
+        return cls(
+            seq_num=msg["seq_num"],
+            sending_time=msg["sending_time"],
+            cl_ord_id=msg["cl_ord_id"],
+            security_id=msg["security_id"],
+            side=Side.BID if msg["side"] == 1 else Side.ASK,
+            order_qty=msg["order_qty"],
+            price=price,
+            ioc=msg["time_in_force"] == 3,
+        )
+
+
+@dataclass(frozen=True)
+class ILink3Cancel:
+    """Application view of an iLink3 OrderCancelRequest."""
+
+    seq_num: int
+    sending_time: int
+    cl_ord_id: int
+    orig_cl_ord_id: int
+    security_id: int
+    side: Side
+
+    def encode(self) -> bytes:
+        """Serialise as SOFH + SBE bytes."""
+        body = encode_message(
+            CANCEL_ORDER_516,
+            {
+                "seq_num": self.seq_num,
+                "sending_time": self.sending_time,
+                "cl_ord_id": self.cl_ord_id,
+                "orig_cl_ord_id": self.orig_cl_ord_id,
+                "security_id": self.security_id,
+                "side": 1 if self.side is Side.BID else 2,
+            },
+        )
+        return frame_sofh(body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ILink3Cancel":
+        """Parse SOFH + SBE bytes back into a cancel request."""
+        body = unframe_sofh(data)
+        if peek_template_id(body) != CANCEL_ORDER_516.template_id:
+            raise ProtocolError("not an OrderCancelRequest516 message")
+        msg = decode_message(CANCEL_ORDER_516, body)
+        return cls(
+            seq_num=msg["seq_num"],
+            sending_time=msg["sending_time"],
+            cl_ord_id=msg["cl_ord_id"],
+            orig_cl_ord_id=msg["orig_cl_ord_id"],
+            security_id=msg["security_id"],
+            side=Side.BID if msg["side"] == 1 else Side.ASK,
+        )
+
+
+def frame_sofh(body: bytes) -> bytes:
+    """Prepend a Simple Open Framing Header to an SBE body."""
+    total = SOFH_LEN + len(body)
+    if total > 0xFFFF:
+        raise ProtocolError(f"message too large for SOFH: {total} bytes")
+    return _SOFH.pack(total, SOFH_ENCODING_SBE_LE) + body
+
+
+def unframe_sofh(data: bytes) -> bytes:
+    """Strip and validate the SOFH, returning the SBE body."""
+    if len(data) < SOFH_LEN:
+        raise ProtocolError("data shorter than SOFH")
+    length, encoding = _SOFH.unpack_from(data, 0)
+    if encoding != SOFH_ENCODING_SBE_LE:
+        raise ProtocolError(f"unknown SOFH encoding 0x{encoding:04x}")
+    if length != len(data):
+        raise ProtocolError(f"SOFH length {length} != data length {len(data)}")
+    return data[SOFH_LEN:]

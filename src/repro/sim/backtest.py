@@ -1,0 +1,352 @@
+"""The back-testing simulator (paper §IV-A).
+
+Replays a :class:`~repro.sim.workload.QueryWorkload` against a system
+profile and — for LightTrader — an accelerator cluster driven by the
+selected scheduling scheme:
+
+- **baseline**: FIFO, batch 1, the conservative static DVFS point of
+  Table III, stale queries dropped at issue time;
+- **WS**: Algorithm 1 picks (DVFS, batch) per issue by PPW under the
+  static per-accelerator power share;
+- **DS**: batch 1, but Algorithm 2 saves power on busy devices and
+  greedily redistributes the shared budget;
+- **WS+DS**: Algorithm 1 against the live rail headroom plus Algorithm 2
+  redistribution.
+
+GPU-based and FPGA-based systems run the same FIFO policy with their own
+profiles, which is exactly the paper's non-batching comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import paperdata
+from repro.accelerator.device import AcceleratorCluster
+from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
+from repro.baselines.profiles import LightTraderProfile, SystemProfile
+from repro.core.dvfs import DVFSScheduler
+from repro.core.scheduler import WorkloadScheduler
+from repro.errors import SimulationError
+from repro.pipeline.offload import OffloadEngine, Query
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.metrics import MetricsCollector, RunResult
+from repro.sim.workload import QueryWorkload
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Configuration of one LightTrader back-test run."""
+
+    model: str = "vanilla_cnn"
+    n_accelerators: int = 1
+    power_condition: str = "sufficient"  # 'sufficient' (55 W) | 'limited' (20 W)
+    workload_scheduling: bool = False
+    dvfs_scheduling: bool = False
+    max_batch: int = 16
+    max_pending: int = 512
+    scheduler_metric: str = "ppw"  # 'ppw' | 'latency' | 'throughput' (ablation)
+
+    def __post_init__(self) -> None:
+        if self.power_condition not in ("sufficient", "limited"):
+            raise SimulationError(f"unknown power condition {self.power_condition!r}")
+        if self.n_accelerators <= 0:
+            raise SimulationError("need at least one accelerator")
+
+    @property
+    def budget_w(self) -> float:
+        """Total accelerator power budget for this condition."""
+        if self.power_condition == "sufficient":
+            return paperdata.TABLE3_SUFFICIENT_TOTAL_W
+        return paperdata.TABLE3_LIMITED_TOTAL_W
+
+    @property
+    def scheme(self) -> str:
+        """Display name of the scheduling scheme."""
+        if self.workload_scheduling and self.dvfs_scheduling:
+            return "ws+ds"
+        if self.workload_scheduling:
+            return "ws"
+        if self.dvfs_scheduling:
+            return "ds"
+        return "baseline"
+
+
+@dataclass
+class _Pending:
+    """The offload queue plus bookkeeping shared by the event handlers."""
+
+    offload: OffloadEngine
+    metrics: MetricsCollector
+    in_flight: dict[int, list[Query]] = field(default_factory=dict)
+
+
+class Backtester:
+    """Replays one workload through one system configuration."""
+
+    def __init__(
+        self,
+        workload: QueryWorkload,
+        profile: SystemProfile,
+        config: SimConfig | None = None,
+    ) -> None:
+        self.workload = workload
+        self.profile = profile
+        self.config = config or SimConfig()
+        self._is_lighttrader = isinstance(profile, LightTraderProfile)
+        self.last_metrics: MetricsCollector | None = None
+
+    # -- public -------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the back-test and return its metrics digest."""
+        config = self.config
+        metrics = MetricsCollector(
+            system=f"{self.profile.name}[{config.scheme}]",
+            model=config.model,
+        )
+        state = _Pending(
+            offload=OffloadEngine(window=1, max_pending=config.max_pending),
+            metrics=metrics,
+        )
+        queue = EventQueue()
+        pre_ns = self.profile.stages.pre_inference_ns
+        for index in range(len(self.workload)):
+            ts = int(self.workload.timestamps[index])
+            queue.push(ts + pre_ns, EventKind.ARRIVAL, index)
+
+        if self._is_lighttrader:
+            self._run_lighttrader(queue, state)
+        else:
+            self._run_fixed_system(queue, state)
+
+        for query in state.offload.pop_batch(config.max_pending):
+            metrics.record_drop(query)
+        self.last_metrics = metrics
+        return metrics.result()
+
+    # -- LightTrader path ------------------------------------------------------------
+
+    def _run_lighttrader(self, queue: EventQueue, state: _Pending) -> None:
+        assert isinstance(self.profile, LightTraderProfile)
+        config = self.config
+        profile = self.profile
+        cost = profile.cost(config.model)
+
+        static_table = DVFSTable(cap_hz=paperdata.TABLE3_CONSERVATIVE_CAP_HZ)
+        dynamic_table = DVFSTable()  # full silicon envelope for Algorithms 1/2
+        power_model: PowerModel = profile.power_model
+        static_point = power_model.select_max_frequency(
+            static_table,
+            cost.activity,
+            config.budget_w / config.n_accelerators,
+        ) or static_table.min_point
+
+        cluster = AcceleratorCluster(
+            n_accelerators=config.n_accelerators,
+            table=dynamic_table,
+            power_model=power_model,
+            budget_w=config.budget_w,
+        )
+        for device in cluster.devices:
+            device.point = static_point  # boot-time configuration, no delay
+
+        ws = WorkloadScheduler(
+            profile,
+            dynamic_table,
+            max_batch=config.max_batch,
+            metric=config.scheduler_metric,
+        )
+        ds = DVFSScheduler(profile, dynamic_table) if config.dvfs_scheduling else None
+
+        static_power = profile.power_w(config.model, static_point, 1)
+        min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
+
+        post_slack_ns = profile.stages.post_inference_ns
+
+        def decide_for(device, now: int, deadline: int):
+            """One scheduling decision for an idle device, or None to drop."""
+            if config.workload_scheduling:
+                budget = self._issue_budget(cluster, device, now)
+                if ds is not None and budget < min_power:
+                    # Save power to make room for this issue (paper §III-D).
+                    ds.reclaim(cluster, now, min_power - cluster.headroom(now))
+                    budget = self._issue_budget(cluster, device, now)
+                # Effective deadlines: the order must leave the trading
+                # engine (post-inference stages) before t_avail expires.
+                deadlines = [
+                    d - post_slack_ns
+                    for d in state.offload.pending_deadlines(config.max_batch)
+                ]
+                return ws.decide(
+                    config.model,
+                    now,
+                    deadlines,
+                    budget,
+                    floor_freq_hz=static_point.freq_hz,
+                )
+            if ds is not None:
+                # DVFS scheduling without batching: fastest point that the
+                # live rail headroom admits (batch stays 1).
+                budget = self._issue_budget(cluster, device, now)
+                point = power_model.select_max_frequency(
+                    dynamic_table, cost.activity, budget
+                )
+                if point is None:
+                    ds.reclaim(cluster, now, static_power - cluster.headroom(now))
+                    budget = self._issue_budget(cluster, device, now)
+                    point = power_model.select_max_frequency(
+                        dynamic_table, cost.activity, budget
+                    )
+                if point is None:
+                    point = static_point  # worst-case-safe fallback
+                return ws.static_decision(config.model, point, now, deadline)
+            return ws.static_decision(config.model, static_point, now, deadline)
+
+        def try_schedule(now: int) -> None:
+            self._drop_stale(state, now)
+            for device in cluster.idle_devices(now):
+                while state.offload.pending_count() > 0:
+                    oldest = state.offload.peek_pending()
+                    assert oldest is not None
+                    deadline = oldest.deadline if oldest.deadline >= 0 else now
+                    decision = decide_for(device, now, deadline)
+                    if decision is None:
+                        effective = deadline - post_slack_ns
+                        if ws.deadline_feasible(config.model, now, effective):
+                            # Only power stands in the way; keep the query
+                            # queued until a busy accelerator releases
+                            # budget (its completion re-triggers scheduling).
+                            break
+                        victim = state.offload.drop_oldest()
+                        if victim is not None:
+                            state.metrics.record_drop(victim)
+                        continue
+                    if decision.point != device.point:
+                        ready = device.set_point(decision.point, now)
+                        queue.push(ready, EventKind.RETRY, None)
+                        break
+                    batch = state.offload.pop_batch(decision.batch_size)
+                    record = device.issue(
+                        now,
+                        decision.t_total_ns,
+                        len(batch),
+                        cost.activity,
+                        deadline_ns=deadline,
+                    )
+                    for query in batch:
+                        query.issue_time = now
+                    state.in_flight[device.accel_id] = batch
+                    queue.push(record.completion_time, EventKind.COMPLETION, device.accel_id)
+                    break  # this device is now busy; move to the next one
+            if ds is not None:
+                reserve = static_power if cluster.idle_devices(now) else 0.0
+                if ds.redistribute(cluster, now, reserve_w=reserve):
+                    for device in cluster.busy_devices(now):
+                        queue.push(device.busy_until, EventKind.COMPLETION, device.accel_id)
+
+        post_ns = self.profile.stages.post_inference_ns
+        while len(queue):
+            now, kind, payload = queue.pop()
+            if kind is EventKind.ARRIVAL:
+                self._ingest(state, payload, now)
+                try_schedule(now)
+            elif kind is EventKind.COMPLETION:
+                device = cluster.devices[payload]
+                if device.current is None:
+                    continue  # stale event (batch already finished)
+                if device.busy_until > now:
+                    queue.push(device.busy_until, EventKind.COMPLETION, payload)
+                    continue  # batch was stretched by the power-save step
+                device.finish(now)
+                batch = state.in_flight.pop(device.accel_id, [])
+                for query in batch:
+                    query.completion_time = now + post_ns
+                    state.metrics.record_completion(
+                        query, query.completion_time, len(batch)
+                    )
+                try_schedule(now)
+            else:  # RETRY
+                try_schedule(now)
+            state.metrics.sample_power(now, cluster.total_power(now))
+
+    @staticmethod
+    def _issue_budget(cluster, device, now) -> float:
+        """Power available to a new issue on ``device``.
+
+        Without DVFS scheduling each accelerator owns its static share;
+        with it, an issue may consume the whole unused rail (the device's
+        own idle draw is released when it goes active).
+        """
+        return cluster.headroom(now) + device.power_now(now)
+
+    # -- fixed-profile (GPU / FPGA) path ----------------------------------------------
+
+    def _run_fixed_system(self, queue: EventQueue, state: _Pending) -> None:
+        config = self.config
+        busy_until = [0] * config.n_accelerators
+        in_flight: dict[int, Query] = {}
+        post_ns = self.profile.stages.post_inference_ns
+        t_total = self.profile.t_total_ns(config.model, None, 1)
+
+        def try_schedule(now: int) -> None:
+            self._drop_stale(state, now)
+            for server, free_at in enumerate(busy_until):
+                if free_at > now:
+                    continue
+                batch = state.offload.pop_batch(1)
+                if not batch:
+                    return
+                query = batch[0]
+                query.issue_time = now
+                busy_until[server] = now + t_total
+                in_flight[server] = query
+                queue.push(busy_until[server], EventKind.COMPLETION, server)
+
+        while len(queue):
+            now, kind, payload = queue.pop()
+            if kind is EventKind.ARRIVAL:
+                self._ingest(state, payload, now)
+            elif kind is EventKind.COMPLETION:
+                query = in_flight.pop(payload)
+                query.completion_time = now + post_ns
+                state.metrics.record_completion(query, query.completion_time, 1)
+            try_schedule(now)
+            state.metrics.sample_power(now, self.profile.system_power_w)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _ingest(self, state: _Pending, index: int, now: int) -> None:
+        """Turn workload row ``index`` into a pending query at ``now``."""
+        overflowed_before = state.offload.dropped_overflow
+        query = Query(
+            query_id=index,
+            tick_index=index,
+            arrival=int(self.workload.timestamps[index]),
+            deadline=int(self.workload.deadlines[index]),
+        )
+        # Reuse the offload engine's queue/overflow machinery directly.
+        engine = state.offload
+        if engine.pending_count() >= engine.max_pending:
+            victim = engine.drop_oldest()
+            engine.dropped_unschedulable -= 1
+            engine.dropped_overflow += 1
+            if victim is not None:
+                state.metrics.record_drop(victim)
+        engine._pending.append(query)
+        del overflowed_before
+
+    def _drop_stale(self, state: _Pending, now: int) -> None:
+        for victim in state.offload.drop_stale(now):
+            state.metrics.record_drop(victim)
+
+
+def run_lighttrader(
+    workload: QueryWorkload,
+    config: SimConfig,
+    profile: LightTraderProfile | None = None,
+) -> RunResult:
+    """Convenience wrapper for the common LightTrader case."""
+    from repro.baselines.profiles import lighttrader_profile
+
+    return Backtester(workload, profile or lighttrader_profile(), config).run()

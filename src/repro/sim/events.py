@@ -1,0 +1,74 @@
+"""Deterministic discrete-event core.
+
+A tiny priority-queue event engine: events fire in (time, kind priority,
+insertion order) order, so identical runs replay identically.  Times are
+integer nanoseconds throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.IntEnum):
+    """Event types, ordered by processing priority at equal timestamps.
+
+    Completions process before arrivals at the same instant so a device
+    freed at time t can serve a query arriving at t.
+    """
+
+    COMPLETION = 0
+    RETRY = 1
+    ARRIVAL = 2
+
+
+@dataclass(order=True)
+class _Entry:
+    time: int
+    kind_priority: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of timestamped events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Time of the most recently popped event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, kind: EventKind, payload: Any = None) -> None:
+        """Schedule an event; scheduling into the past is an error."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {kind.name} at {time} before now ({self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, _Entry(time, int(kind), self._seq, kind, payload))
+
+    def pop(self) -> tuple[int, EventKind, Any]:
+        """Remove and return the next (time, kind, payload)."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        entry = heapq.heappop(self._heap)
+        self._now = entry.time
+        return entry.time, entry.kind, entry.payload
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0].time if self._heap else None

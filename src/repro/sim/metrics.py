@@ -1,0 +1,131 @@
+"""Back-test metrics: response rate, miss rate, latency and power stats.
+
+The simulation framework "tracks each input query to see if its
+tick-to-trade meets the available time and stores the result for the
+record" (paper §IV-A).  :class:`MetricsCollector` is that record keeper;
+:class:`RunResult` is the digest every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pipeline.offload import Query
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Digest of one back-test run."""
+
+    system: str
+    model: str
+    n_queries: int  # scored queries (known deadline)
+    responded: int  # completed within deadline
+    completed_late: int
+    dropped: int
+    mean_latency_us: float  # tick-to-trade of in-time responses
+    p50_latency_us: float
+    p99_latency_us: float
+    mean_batch_size: float
+    mean_power_w: float
+    peak_power_w: float
+    energy_j: float
+    duration_s: float
+
+    @property
+    def response_rate(self) -> float:
+        """Fraction of scored queries answered within their deadline."""
+        return self.responded / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """1 − response rate."""
+        return 1.0 - self.response_rate
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.system}/{self.model}: {self.response_rate:.1%} response "
+            f"({self.responded}/{self.n_queries}), mean t2t "
+            f"{self.mean_latency_us:.0f}µs, p99 {self.p99_latency_us:.0f}µs, "
+            f"batch {self.mean_batch_size:.2f}, power {self.mean_power_w:.1f}W "
+            f"(peak {self.peak_power_w:.1f}W)"
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-query outcomes and a power-over-time integral."""
+
+    system: str
+    model: str
+    _latencies_us: list[float] = field(default_factory=list)
+    _batch_sizes: list[int] = field(default_factory=list)
+    responded: int = 0
+    completed_late: int = 0
+    dropped: int = 0
+    unscored: int = 0
+    trace: list = field(default_factory=list)  # (query_id, responded_in_time)
+    _energy_j: float = 0.0
+    _power_time_ns: int = 0
+    _peak_power_w: float = 0.0
+    _last_power_sample: tuple[int, float] | None = None
+
+    def record_completion(self, query: Query, order_time: int, batch_size: int) -> None:
+        """A query's order left the system at ``order_time``."""
+        if query.deadline < 0:
+            self.unscored += 1
+            return
+        self._batch_sizes.append(batch_size)
+        if order_time <= query.deadline:
+            self.responded += 1
+            self.trace.append((query.query_id, True))
+            self._latencies_us.append((order_time - query.arrival) / 1_000.0)
+        else:
+            self.completed_late += 1
+            self.trace.append((query.query_id, False))
+
+    def record_drop(self, query: Query) -> None:
+        """A query was dropped before completing."""
+        if query.deadline < 0:
+            self.unscored += 1
+        else:
+            self.dropped += 1
+            self.trace.append((query.query_id, False))
+
+    def sample_power(self, now: int, watts: float) -> None:
+        """Integrate power over time (call at every state change)."""
+        if self._last_power_sample is not None:
+            prev_time, prev_watts = self._last_power_sample
+            dt = now - prev_time
+            if dt > 0:
+                self._energy_j += prev_watts * dt / 1e9
+                self._power_time_ns += dt
+        self._peak_power_w = max(self._peak_power_w, watts)
+        self._last_power_sample = (now, watts)
+
+    def result(self) -> RunResult:
+        """Finalise into a :class:`RunResult`."""
+        lat = np.asarray(self._latencies_us) if self._latencies_us else np.zeros(1)
+        scored = self.responded + self.completed_late + self.dropped
+        duration_s = self._power_time_ns / 1e9
+        return RunResult(
+            system=self.system,
+            model=self.model,
+            n_queries=scored,
+            responded=self.responded,
+            completed_late=self.completed_late,
+            dropped=self.dropped,
+            mean_latency_us=float(lat.mean()),
+            p50_latency_us=float(np.percentile(lat, 50)),
+            p99_latency_us=float(np.percentile(lat, 99)),
+            mean_batch_size=(
+                float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
+            ),
+            mean_power_w=(self._energy_j / duration_s if duration_s > 0 else 0.0),
+            peak_power_w=self._peak_power_w,
+            energy_j=self._energy_j,
+            duration_s=duration_s,
+        )

@@ -1,0 +1,245 @@
+"""Query workloads: the tick streams the back-tester replays.
+
+A :class:`QueryWorkload` is the minimal back-testing input — arrival
+timestamps and per-query deadlines — with two constructors:
+
+- :func:`QueryWorkload.from_tape` derives both from a recorded
+  :class:`~repro.market.replay.TickTape` using a deadline policy.
+- :func:`synthetic_workload` samples a regime-switching arrival process
+  (calm / active / burst) that reproduces the clustered traffic shape of
+  real tick feeds without paying for full matching-engine simulation —
+  the tool for large parameter sweeps.
+
+Deadline policies implement the paper's ``t_avail``: *horizon* deadlines
+tie validity to the arrival of the tick ``horizon`` steps later (the
+prediction-horizon semantics — bursts compress the available time
+exactly when load peaks), while *fixed* deadlines grant a constant
+budget.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.market.replay import TickTape
+from repro.units import sec_to_ns
+
+
+class DeadlinePolicy(abc.ABC):
+    """Maps tick index/timestamps to a completion deadline."""
+
+    @abc.abstractmethod
+    def deadlines(self, timestamps: np.ndarray) -> np.ndarray:
+        """Deadline per tick; entries may be -1 for 'unknowable' (tail)."""
+
+
+@dataclass(frozen=True)
+class HorizonDeadline(DeadlinePolicy):
+    """Deadline = arrival time of the tick ``horizon`` steps later."""
+
+    horizon: int = 100
+
+    def deadlines(self, timestamps):
+        if self.horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        out = np.full(len(timestamps), -1, dtype=np.int64)
+        if len(timestamps) > self.horizon:
+            out[: -self.horizon] = timestamps[self.horizon :]
+        return out
+
+
+@dataclass(frozen=True)
+class FixedDeadline(DeadlinePolicy):
+    """Deadline = arrival + a constant budget."""
+
+    budget_ns: int = 5_000_000  # 5 ms
+
+    def deadlines(self, timestamps):
+        if self.budget_ns <= 0:
+            raise SimulationError("deadline budget must be positive")
+        return timestamps + self.budget_ns
+
+
+@dataclass(frozen=True)
+class OpportunityDeadline(DeadlinePolicy):
+    """Deadline = arrival + a heavy-tailed opportunity lifetime.
+
+    HFT profit opportunities have widely varying lifetimes — most vanish
+    within milliseconds, some persist much longer ("there is a
+    probability that the profit opportunity vanishes even before the
+    prediction horizon ends", paper §II-C).  A lognormal lifetime with a
+    large σ captures this: the median sets the typical t_avail; the heavy
+    upper tail means queued work during bursts is not automatically
+    doomed, while the lower tail makes *intrinsic* inference latency
+    matter — which is exactly what ties response rates to the DVFS
+    operating point and gives the schedulers their leverage.
+
+    This is the default deadline policy for every headline experiment;
+    the parameters are part of the workload calibration (EXPERIMENTS.md).
+    """
+
+    median_ns: int = 27_800_000  # 27.8 ms median opportunity lifetime
+    sigma: float = 1.94
+    seed: int = 1234
+
+    def deadlines(self, timestamps):
+        if self.median_ns <= 0 or self.sigma <= 0:
+            raise SimulationError("median and sigma must be positive")
+        rng = np.random.default_rng(self.seed)
+        lifetimes = rng.lognormal(
+            mean=np.log(self.median_ns), sigma=self.sigma, size=len(timestamps)
+        )
+        return timestamps + lifetimes.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """Arrival timestamps + deadlines for one back-test run.
+
+    ``regimes`` optionally tags each query with the traffic regime that
+    produced it (diagnostics only; the simulator never reads it).
+    """
+
+    timestamps: np.ndarray  # int64 ns, sorted
+    deadlines: np.ndarray  # int64 ns; -1 marks unscored tail queries
+    name: str = "workload"
+    regimes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.timestamps) != len(self.deadlines):
+            raise SimulationError("timestamps and deadlines must align")
+        if self.regimes is not None and len(self.regimes) != len(self.timestamps):
+            raise SimulationError("regimes must align with timestamps")
+        if len(self.timestamps) and (np.diff(self.timestamps) < 0).any():
+            raise SimulationError("workload timestamps must be sorted")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def scored_count(self) -> int:
+        """Queries with a known deadline (the denominator of miss rates)."""
+        return int((self.deadlines >= 0).sum())
+
+    @classmethod
+    def from_tape(
+        cls,
+        tape: TickTape,
+        policy: DeadlinePolicy | None = None,
+        name: str | None = None,
+    ) -> "QueryWorkload":
+        """Derive a workload from a recorded tape."""
+        policy = policy or HorizonDeadline()
+        timestamps = tape.timestamps
+        return cls(
+            timestamps=timestamps,
+            deadlines=policy.deadlines(timestamps),
+            name=name or "tape",
+        )
+
+
+# --- regime-switching synthetic traffic ---------------------------------------
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One traffic state: Poisson arrivals at ``rate_hz`` for an
+    exponentially distributed dwell of mean ``mean_dwell_s``."""
+
+    name: str
+    rate_hz: float
+    mean_dwell_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0 or self.mean_dwell_s <= 0:
+            raise SimulationError(f"regime {self.name}: rate and dwell must be positive")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Calm baseline punctuated by episodic rate regimes.
+
+    The process alternates calm ↔ episode: every departure from CALM
+    samples one episode regime by weight, runs Poisson arrivals through
+    its dwell, then returns to CALM — the episodic structure real tick
+    feeds exhibit (quiet tape, activity clusters, micro-bursts).
+
+    The default parameters are calibrated (see EXPERIMENTS.md) so that a
+    single-accelerator LightTrader, the GPU-based and the FPGA-based
+    systems land on the paper's Fig.-11 response rates: an *elevated*
+    tier that only the slow baselines fail, an *active* tier between the
+    TransLOB and vanilla-CNN service capacities, and micro-*bursts* that
+    degrade every system in proportion to its throughput.
+    """
+
+    calm: Regime = Regime("calm", rate_hz=160.0, mean_dwell_s=5.1)
+    episodes: tuple[Regime, ...] = (
+        Regime("elevated", rate_hz=2_000.0, mean_dwell_s=0.050),
+        Regime("active", rate_hz=7_600.0, mean_dwell_s=0.060),
+        Regime("burst", rate_hz=50_000.0, mean_dwell_s=0.012),
+    )
+    episode_weights: tuple[float, ...] = (0.557, 0.232, 0.212)
+
+    def __post_init__(self) -> None:
+        if len(self.episodes) != len(self.episode_weights):
+            raise SimulationError("episodes and episode_weights must align")
+        if not self.episodes:
+            raise SimulationError("need at least one episode regime")
+        if any(w < 0 for w in self.episode_weights) or sum(self.episode_weights) <= 0:
+            raise SimulationError("episode weights must be non-negative, sum > 0")
+
+
+DEFAULT_TRAFFIC = TrafficSpec()
+
+
+def synthetic_workload(
+    duration_s: float,
+    spec: TrafficSpec = DEFAULT_TRAFFIC,
+    policy: DeadlinePolicy | None = None,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> QueryWorkload:
+    """Sample a regime-switching workload of ``duration_s`` seconds."""
+    if duration_s <= 0:
+        raise SimulationError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    policy = policy or OpportunityDeadline()
+    horizon_ns = sec_to_ns(duration_s)
+    weights = np.asarray(spec.episode_weights, dtype=float)
+    weights /= weights.sum()
+    times: list[int] = []
+    regimes: list[str] = []
+    t = 0.0
+    state = spec.calm
+    while True:
+        dwell = rng.exponential(state.mean_dwell_s)
+        end = t + dwell
+        # Poisson arrivals within this dwell.
+        t_event = t
+        while True:
+            t_event += rng.exponential(1.0 / state.rate_hz)
+            if t_event >= end:
+                break
+            stamp = round(t_event * 1e9)
+            if stamp >= horizon_ns:
+                break
+            times.append(stamp)
+            regimes.append(state.name)
+        t = end
+        if t * 1e9 >= horizon_ns:
+            break
+        if state is spec.calm:
+            state = spec.episodes[int(rng.choice(len(spec.episodes), p=weights))]
+        else:
+            state = spec.calm
+    timestamps = np.asarray(times, dtype=np.int64)
+    return QueryWorkload(
+        timestamps=timestamps,
+        deadlines=policy.deadlines(timestamps),
+        name=name,
+        regimes=np.asarray(regimes),
+    )

@@ -1,0 +1,27 @@
+"""Strategy layer: labelling, a trainable classifier and P&L accounting."""
+
+from repro.strategy.labels import (
+    DOWN,
+    STATIONARY,
+    UP,
+    LabelledDataset,
+    balanced_threshold,
+    build_dataset,
+    movement_labels,
+)
+from repro.strategy.pnl import PnLReport, PnLTracker
+from repro.strategy.train import SoftmaxClassifier, TrainReport
+
+__all__ = [
+    "DOWN",
+    "LabelledDataset",
+    "PnLReport",
+    "PnLTracker",
+    "STATIONARY",
+    "SoftmaxClassifier",
+    "TrainReport",
+    "UP",
+    "balanced_threshold",
+    "build_dataset",
+    "movement_labels",
+]

@@ -1,0 +1,98 @@
+"""P&L accounting for strategy back-tests.
+
+Tracks position and cash through fills, marks open inventory to the mid,
+and reports the summary numbers a desk would look at: net P&L, hit rate,
+turnover, max drawdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.lob.order import Side
+from repro.units import DEFAULT_MULTIPLIER, DEFAULT_TICK_SIZE
+
+
+@dataclass
+class PnLTracker:
+    """Position/cash ledger with mark-to-market."""
+
+    tick_size: float = DEFAULT_TICK_SIZE
+    multiplier: float = DEFAULT_MULTIPLIER
+    fee_per_contract: float = 0.35
+    position: int = 0
+    cash: float = 0.0
+    fills: int = 0
+    volume: int = 0
+    _equity_curve: list[float] = field(default_factory=list)
+    _trade_pnls: list[float] = field(default_factory=list)
+    _entry_value: float = 0.0
+
+    def on_fill(self, side: Side, price_ticks: int, quantity: int) -> None:
+        """Record a fill (``side`` is our order's side)."""
+        if quantity <= 0:
+            raise SimulationError("fill quantity must be positive")
+        notional = price_ticks * self.tick_size * self.multiplier * quantity
+        old_position = self.position
+        self.position += side.sign * quantity
+        self.cash -= side.sign * notional
+        self.cash -= self.fee_per_contract * quantity
+        self.fills += 1
+        self.volume += quantity
+        # Round-trip P&L attribution: when position crosses toward zero,
+        # realise the difference.
+        if old_position != 0 and abs(self.position) < abs(old_position):
+            self._trade_pnls.append(self.cash + self._entry_value)
+        if self.position == 0:
+            self._entry_value = 0.0
+
+    def mark(self, mid_ticks: float) -> float:
+        """Mark-to-market equity at the given mid price."""
+        equity = self.cash + self.position * mid_ticks * self.tick_size * self.multiplier
+        self._equity_curve.append(equity)
+        return equity
+
+    @property
+    def equity_curve(self) -> np.ndarray:
+        """All recorded marks."""
+        return np.asarray(self._equity_curve)
+
+    def report(self, final_mid_ticks: float) -> "PnLReport":
+        """Close the books at ``final_mid_ticks`` and summarise."""
+        final_equity = self.mark(final_mid_ticks)
+        curve = self.equity_curve
+        peak = np.maximum.accumulate(curve) if len(curve) else np.zeros(1)
+        drawdown = float((peak - curve).max()) if len(curve) else 0.0
+        wins = sum(1 for p in self._trade_pnls if p > 0)
+        return PnLReport(
+            net_pnl=final_equity,
+            fills=self.fills,
+            volume=self.volume,
+            final_position=self.position,
+            hit_rate=(wins / len(self._trade_pnls)) if self._trade_pnls else 0.0,
+            max_drawdown=drawdown,
+        )
+
+
+@dataclass(frozen=True)
+class PnLReport:
+    """Summary of one strategy back-test."""
+
+    net_pnl: float
+    fills: int
+    volume: int
+    final_position: int
+    hit_rate: float
+    max_drawdown: float
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"net P&L ${self.net_pnl:,.0f} over {self.fills} fills "
+            f"({self.volume} contracts), hit rate {self.hit_rate:.0%}, "
+            f"max drawdown ${self.max_drawdown:,.0f}, "
+            f"final position {self.final_position:+d}"
+        )

@@ -1,0 +1,91 @@
+"""Canonical units and conversions used throughout the library.
+
+The simulator keeps *time as integer nanoseconds* so that event ordering is
+deterministic (no floating-point drift when comparing timestamps).  Helper
+constants and converters below are the single place where that convention is
+defined; every other module imports from here rather than hard-coding
+magic factors.
+
+Frequencies are expressed in hertz (float), voltages in volts, power in
+watts, energy in joules, and data sizes in bytes unless a name says
+otherwise.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def us_to_ns(us: float) -> int:
+    """Convert microseconds (possibly fractional) to integer nanoseconds."""
+    return round(us * NS_PER_US)
+
+
+def ms_to_ns(ms: float) -> int:
+    """Convert milliseconds (possibly fractional) to integer nanoseconds."""
+    return round(ms * NS_PER_MS)
+
+
+def sec_to_ns(sec: float) -> int:
+    """Convert seconds (possibly fractional) to integer nanoseconds."""
+    return round(sec * NS_PER_SEC)
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return ns / NS_PER_US
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return ns / NS_PER_MS
+
+
+def ns_to_sec(ns: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return ns / NS_PER_SEC
+
+
+# --- frequency / compute ---------------------------------------------------
+
+GHZ = 1e9
+MHZ = 1e6
+
+TERA = 1e12
+GIGA = 1e9
+
+
+def cycles_to_ns(cycles: float, frequency_hz: float) -> int:
+    """Time (integer ns) to execute ``cycles`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return round(cycles / frequency_hz * NS_PER_SEC)
+
+
+def ns_to_cycles(ns: int, frequency_hz: float) -> float:
+    """Number of clock cycles elapsing in ``ns`` at ``frequency_hz``."""
+    return ns / NS_PER_SEC * frequency_hz
+
+
+# --- prices ----------------------------------------------------------------
+#
+# Prices are integer *price ticks* inside the order book (exchange native
+# representation; CME futures trade in fixed tick increments).  A display
+# price is ``ticks * tick_size``.
+
+DEFAULT_TICK_SIZE = 0.25  # E-mini S&P 500 futures tick size in index points
+DEFAULT_MULTIPLIER = 50.0  # E-mini contract multiplier ($ per index point)
+
+
+def price_to_ticks(price: float, tick_size: float = DEFAULT_TICK_SIZE) -> int:
+    """Convert a display price to integer exchange ticks (round-half-even)."""
+    return round(price / tick_size)
+
+
+def ticks_to_price(ticks: int, tick_size: float = DEFAULT_TICK_SIZE) -> float:
+    """Convert integer exchange ticks back to a display price."""
+    return ticks * tick_size

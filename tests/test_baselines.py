@@ -1,0 +1,159 @@
+"""Tests for system profiles and model cost calibration."""
+
+import statistics
+
+import pytest
+
+from repro import paperdata
+from repro.accelerator import DVFSTable
+from repro.baselines import (
+    LightTraderProfile,
+    ModelCost,
+    benchmark_costs,
+    cost_from_model,
+    cycle_scale_kappa,
+    fpga_profile,
+    gpu_profile,
+    lighttrader_profile,
+)
+from repro.errors import CalibrationError, SchedulingError
+
+MODELS = ("vanilla_cnn", "translob", "deeplob")
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    return DVFSTable(cap_hz=2.0e9).max_point
+
+
+@pytest.fixture(scope="module")
+def lt():
+    return lighttrader_profile()
+
+
+class TestModelCosts:
+    def test_anchored_latencies_match_paper(self, nominal):
+        costs = benchmark_costs()
+        for model in MODELS:
+            assert costs[model].infer_ns(nominal, 1) == pytest.approx(
+                paperdata.FIG11_LATENCY_NS[model], rel=0.001
+            )
+
+    def test_batch_cycles_affine_and_sublinear(self, nominal):
+        cost = benchmark_costs()["vanilla_cnn"]
+        t1 = cost.infer_ns(nominal, 1)
+        t8 = cost.infer_ns(nominal, 8)
+        assert t8 < 8 * t1  # batching amortises
+        assert t8 > t1  # but costs more than one sample
+
+    def test_marginal_batch_cost_is_utilisation_fraction(self, nominal):
+        cost = benchmark_costs()["deeplob"]
+        marginal = cost.cycles(2) - cost.cycles(1)
+        assert marginal == pytest.approx(
+            cost.cycles_batch1 * cost.batch_utilisation, rel=1e-6
+        )
+
+    def test_invalid_batch_rejected(self, nominal):
+        with pytest.raises(CalibrationError):
+            benchmark_costs()["deeplob"].cycles(0)
+
+    def test_kappa_stable_and_positive(self):
+        assert cycle_scale_kappa() > 1.0
+
+    def test_cost_from_model_extrapolates(self, nominal):
+        from repro.nn import build_vanilla_cnn
+
+        cost = cost_from_model(build_vanilla_cnn(width=32))
+        assert cost.cycles_batch1 > 0
+        assert 0 < cost.batch_utilisation <= 1
+        assert cost.activity > 0
+
+    def test_zoo_latencies_monotone(self, nominal):
+        from repro.nn import complexity_sweep
+
+        latencies = [
+            cost_from_model(m).infer_ns(nominal) for m in complexity_sweep().values()
+        ]
+        assert latencies == sorted(latencies)
+
+
+class TestLightTraderProfile:
+    def test_latency_scales_with_frequency(self, lt):
+        table = DVFSTable()
+        slow = lt.t_infer_ns("deeplob", table.at_ghz(1.0), 1)
+        fast = lt.t_infer_ns("deeplob", table.at_ghz(2.0), 1)
+        assert slow == pytest.approx(2 * fast, rel=0.01)
+
+    def test_requires_operating_point(self, lt):
+        with pytest.raises(SchedulingError):
+            lt.t_infer_ns("deeplob", None, 1)
+
+    def test_unknown_model_rejected(self, lt):
+        with pytest.raises(SchedulingError):
+            lt.t_infer_ns("resnet", DVFSTable().at_ghz(2.0), 1)
+
+    def test_register_new_model(self, nominal):
+        profile = lighttrader_profile()
+        profile.register(
+            ModelCost(
+                name="custom",
+                cycles_batch1=1e5,
+                batch_utilisation=0.3,
+                activity=1.0,
+                total_ops=1e9,
+                weight_bytes=1000,
+            )
+        )
+        assert profile.t_infer_ns("custom", nominal, 1) > 0
+
+    def test_power_scales_with_model_weight(self, lt, nominal):
+        assert lt.power_w("deeplob", nominal, 1) > lt.power_w("vanilla_cnn", nominal, 1)
+
+    def test_tick_to_trade_includes_stages(self, lt, nominal):
+        t2t = lt.tick_to_trade_ns("vanilla_cnn", nominal, 1)
+        assert t2t == lt.t_total_ns("vanilla_cnn", nominal, 1) + lt.stages.total_ns
+
+
+class TestBaselineProfiles:
+    def test_mean_speedups_match_paper(self, lt, nominal):
+        gpu, fpga = gpu_profile(), fpga_profile()
+        gpu_ratio = statistics.mean(
+            gpu.t_total_ns(m, None, 1) / lt.t_total_ns(m, nominal, 1) for m in MODELS
+        )
+        fpga_ratio = statistics.mean(
+            fpga.t_total_ns(m, None, 1) / lt.t_total_ns(m, nominal, 1) for m in MODELS
+        )
+        assert gpu_ratio == pytest.approx(paperdata.FIG11_GPU_SPEEDUP, rel=0.02)
+        assert fpga_ratio == pytest.approx(paperdata.FIG11_FPGA_SPEEDUP, rel=0.02)
+
+    def test_mean_efficiency_gains_match_paper(self, lt):
+        gpu, fpga = gpu_profile(), fpga_profile()
+        gains_gpu = statistics.mean(
+            lt.effective_tflops_per_watt(m, paperdata.TABLE2_TOTAL_OPS[m])
+            / gpu.effective_tflops_per_watt(m, paperdata.TABLE2_TOTAL_OPS[m])
+            for m in MODELS
+        )
+        gains_fpga = statistics.mean(
+            lt.effective_tflops_per_watt(m, paperdata.TABLE2_TOTAL_OPS[m])
+            / fpga.effective_tflops_per_watt(m, paperdata.TABLE2_TOTAL_OPS[m])
+            for m in MODELS
+        )
+        assert gains_gpu == pytest.approx(paperdata.FIG11_GPU_EFFICIENCY_GAIN, rel=0.05)
+        assert gains_fpga == pytest.approx(paperdata.FIG11_FPGA_EFFICIENCY_GAIN, rel=0.05)
+
+    def test_gpu_batches_better_than_fpga(self):
+        gpu, fpga = gpu_profile(), fpga_profile()
+        gpu_gain = gpu.t_infer_ns("deeplob", None, 8) / gpu.t_infer_ns("deeplob", None, 1)
+        fpga_gain = fpga.t_infer_ns("deeplob", None, 8) / fpga.t_infer_ns("deeplob", None, 1)
+        assert gpu_gain < fpga_gain  # GPU's batch latency grows more slowly
+
+    def test_no_dvfs_on_baselines(self):
+        assert not gpu_profile().supports_dvfs
+        assert not fpga_profile().supports_dvfs
+        assert lighttrader_profile().supports_dvfs
+
+    def test_baseline_unknown_model_rejected(self):
+        with pytest.raises(SchedulingError):
+            gpu_profile().t_infer_ns("nope", None, 1)
+        with pytest.raises(SchedulingError):
+            gpu_profile().t_infer_ns("deeplob", None, 0)

@@ -1,0 +1,111 @@
+"""Fast tests for the experiment harness (tiny workloads)."""
+
+import pytest
+
+from repro import paperdata
+from repro.bench import (
+    headline_workload,
+    render_table,
+    run_fig8,
+    run_fig9,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+class TestTables:
+    def test_table1(self):
+        result = run_table1()
+        assert result.measured_tflops == pytest.approx(16.4, abs=0.1)
+        assert "16" in result.table()
+
+    def test_table2(self):
+        result = run_table2()
+        assert set(result.measured_ops) == {"vanilla_cnn", "translob", "deeplob"}
+        assert "Table II" in result.table()
+
+    def test_table3(self):
+        result = run_table3()
+        assert result.exact_cells >= 27
+        assert "2.0" in result.table()
+
+    def test_fig9(self):
+        result = run_fig9()
+        assert result.ratio == pytest.approx(2.4, abs=0.15)
+        assert "ratio" in result.table()
+
+
+class TestFigureRunners:
+    """Smoke runs on short workloads: structure, not calibration."""
+
+    def test_fig8_structure(self):
+        result = run_fig8(duration_s=8.0)
+        assert list(result.response_rates) == ["M1", "M2", "M3", "M4", "M5"]
+        lat = list(result.latencies_us.values())
+        assert lat == sorted(lat)
+        assert "Fig. 8" in result.table()
+
+    def test_fig11_structure(self):
+        result = run_fig11(duration_s=8.0)
+        assert set(result.latency_us) == {"lighttrader", "gpu", "fpga"}
+        assert result.speedup_vs("gpu") > 5
+        assert result.speedup_vs("fpga") > 3
+        assert "Fig. 11" in result.table()
+
+    def test_fig12_structure(self):
+        result = run_fig12(duration_s=8.0, models=("vanilla_cnn",), counts=(1, 4))
+        assert set(result.rates) == {"sufficient", "limited"}
+        assert set(result.rates["sufficient"]["vanilla_cnn"]) == {1, 4}
+        assert "Fig. 12" in result.table()
+
+    def test_fig13_structure(self):
+        result = run_fig13(
+            duration_s=8.0,
+            models=("vanilla_cnn",),
+            counts=(1,),
+            conditions=("limited",),
+            schemes=("baseline", "ws"),
+        )
+        cell = result.miss["limited"]["vanilla_cnn"][1]
+        assert set(cell) == {"baseline", "ws"}
+        assert 0 <= result.reduction("limited", "vanilla_cnn", 1, "ws") <= 1
+
+    def test_fig13_pooled_reduction_handles_zero_baseline(self):
+        from repro.bench.experiments import Fig13Result
+
+        result = Fig13Result(
+            miss={
+                "limited": {
+                    "m": {
+                        1: {"baseline": 0.0, "ws": 0.0},
+                        2: {"baseline": 0.1, "ws": 0.05},
+                    }
+                }
+            }
+        )
+        assert result.mean_reduction("m", "ws", counts=(1, 2)) == pytest.approx(0.5)
+        assert result.reduction("limited", "m", 1, "ws") == 0.0
+
+    def test_headline_workload_deterministic(self):
+        a = headline_workload(duration_s=5.0, seed=4)
+        b = headline_workload(duration_s=5.0, seed=4)
+        assert len(a) == len(b)
+
+
+class TestRenderTable:
+    def test_alignment_and_note(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], ["x", 10_000.0]], note="n")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[-1] == "n"
+        widths = {len(line) for line in lines[1:-1]}
+        assert len(widths) == 1  # box edges aligned
+
+    def test_float_formatting(self):
+        text = render_table("T", ["v"], [[0.123456], [12345.678]])
+        assert "0.123" in text
+        assert "12,346" in text

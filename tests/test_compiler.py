@@ -1,0 +1,182 @@
+"""Tests for the CGRA compiler pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DEFAULT_CONFIG, AcceleratorConfig
+from repro.compiler import (
+    CompiledProgram,
+    OpKind,
+    Opcode,
+    build_dfg,
+    compile_model,
+    partition,
+)
+from repro.errors import CompileError
+from repro.nn import benchmark_models, build_model, build_deeplob
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: compile_model(m) for name, m in benchmark_models().items()}
+
+
+class TestDFG:
+    def test_dfg_preserves_total_macs(self):
+        model = build_model("vanilla_cnn")
+        dfg = build_dfg(model)
+        assert dfg.total_macs() == model.macs()
+
+    def test_dfg_preserves_weight_bytes(self):
+        model = build_model("deeplob")
+        dfg = build_dfg(model)
+        assert dfg.total_weight_bytes() == model.weight_bytes()
+
+    def test_topological_order_starts_at_input(self):
+        dfg = build_dfg(build_model("vanilla_cnn"))
+        nodes = dfg.topological_nodes()
+        assert nodes[0].name == "input"
+
+    def test_inception_creates_parallel_branches(self):
+        dfg = build_dfg(build_deeplob())
+        graph = dfg.graph
+        # Some node should have out-degree 3 (the three inception branches).
+        assert max(dict(graph.out_degree()).values()) >= 3
+
+    def test_lstm_is_recurrent_node(self):
+        dfg = build_dfg(build_deeplob())
+        recurrent = [n for n in dfg.topological_nodes() if n.kind is OpKind.RECURRENT_STEP]
+        assert len(recurrent) == 1
+        assert recurrent[0].sequential_steps == 100
+
+    def test_critical_path_positive(self):
+        dfg = build_dfg(build_model("translob"))
+        assert dfg.critical_path_length() > 5
+
+
+class TestPartition:
+    def test_every_node_in_exactly_one_block(self):
+        model = build_model("deeplob")
+        dfg = build_dfg(model)
+        blocks = partition(dfg, DEFAULT_CONFIG)
+        names = [n.name for b in blocks for n in b.nodes]
+        assert sorted(names) == sorted(n.name for n in dfg.topological_nodes())
+
+    def test_recurrent_block_isolated(self):
+        dfg = build_dfg(build_deeplob())
+        blocks = partition(dfg, DEFAULT_CONFIG)
+        recurrent_blocks = [b for b in blocks if b.is_recurrent]
+        assert len(recurrent_blocks) == 1
+        assert len(recurrent_blocks[0].nodes) == 1
+
+    def test_weight_budget_respected(self):
+        config = DEFAULT_CONFIG
+        dfg = build_dfg(build_model("deeplob"))
+        budget = int(config.dmem_bytes * 0.40)
+        for block in partition(dfg, config):
+            assert block.weight_bytes <= budget
+
+    def test_oversized_node_rejected(self):
+        tiny = AcceleratorConfig(dmem_bytes=1024)
+        dfg = build_dfg(build_model("deeplob"))
+        with pytest.raises(CompileError):
+            partition(dfg, tiny)
+
+
+class TestCompiledProgram:
+    def test_all_benchmarks_compile(self, programs):
+        for name, program in programs.items():
+            assert isinstance(program, CompiledProgram)
+            assert program.per_sample_cycles > 0
+            assert program.setup_cycles > 0
+
+    def test_latency_ordering_matches_complexity(self, programs):
+        lat = {n: p.latency_ns(2.0e9) for n, p in programs.items()}
+        assert lat["vanilla_cnn"] < lat["translob"] < lat["deeplob"]
+
+    def test_cycles_affine_in_batch(self, programs):
+        program = programs["vanilla_cnn"]
+        c1, c2, c4 = program.cycles(1), program.cycles(2), program.cycles(4)
+        assert c2 - c1 == program.per_sample_cycles
+        assert c4 - c2 == 2 * program.per_sample_cycles
+
+    def test_batching_improves_throughput(self, programs):
+        """Per-sample time falls with batch because setup amortises."""
+        program = programs["deeplob"]
+        per_sample_1 = program.cycles(1)
+        per_sample_8 = program.cycles(8) / 8
+        assert per_sample_8 < per_sample_1
+
+    def test_latency_scales_inverse_frequency(self, programs):
+        program = programs["translob"]
+        assert program.latency_ns(1.0e9) == pytest.approx(
+            2 * program.latency_ns(2.0e9), rel=1e-6
+        )
+
+    def test_invalid_batch_rejected(self, programs):
+        with pytest.raises(CompileError):
+            programs["vanilla_cnn"].cycles(0)
+
+    def test_utilization_in_unit_range(self, programs):
+        for program in programs.values():
+            assert 0.0 < program.mean_pe_utilization <= 1.0
+
+    def test_summary_lists_blocks(self, programs):
+        summary = programs["deeplob"].summary()
+        assert "HB0" in summary
+        assert "hyperblocks" in summary
+
+
+class TestCodegen:
+    def test_streams_cover_whole_grid(self, programs):
+        program = programs["vanilla_cnn"]
+        config = program.config
+        for block_program in program.programs:
+            n_streams = len(block_program.pe_streams) + len(block_program.epe_streams)
+            assert n_streams == config.n_pes
+            assert len(block_program.epe_streams) == config.n_epes
+
+    def test_special_ops_only_on_epes(self, programs):
+        for program in programs.values():
+            for block_program in program.programs:
+                for stream in block_program.pe_streams:
+                    for run in stream.runs:
+                        assert not run.opcode.is_special
+
+    def test_mac_work_present_for_matmul_blocks(self, programs):
+        program = programs["deeplob"]
+        any_mac = any(
+            run.opcode is Opcode.MAC
+            for bp in program.programs
+            for stream in bp.pe_streams
+            for run in stream.runs
+        )
+        assert any_mac
+
+    def test_lsu_loads_match_weights(self, programs):
+        """Every block's LSU programs must load at least its weight elems."""
+        program = programs["translob"]
+        for block, bp in zip(program.blocks, program.programs):
+            loaded = sum(
+                run.repeat
+                for stream in bp.lsu_streams
+                for run in stream.runs
+                if run.opcode is Opcode.LOAD
+            )
+            assert loaded >= block.weight_bytes // 2
+
+    def test_streams_end_with_sync(self, programs):
+        program = programs["vanilla_cnn"]
+        for bp in program.programs:
+            for stream in bp.pe_streams + bp.epe_streams:
+                assert stream.runs[-1].opcode is Opcode.SYNC
+
+
+class TestZooCompilation:
+    def test_complexity_sweep_compiles_monotone(self):
+        from repro.nn import complexity_sweep
+
+        cycles = [
+            compile_model(m).per_sample_cycles for m in complexity_sweep().values()
+        ]
+        assert cycles == sorted(cycles)

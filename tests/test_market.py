@@ -1,0 +1,168 @@
+"""Tests for the Hawkes process, agents, market simulator and tick tape."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    BURSTY,
+    CALM,
+    HawkesParams,
+    HawkesProcess,
+    MarketConfig,
+    MarketSimulator,
+    TickTape,
+    generate_session,
+    sample_arrivals,
+    traffic_stats,
+)
+from repro.units import sec_to_ns
+
+
+class TestHawkesParams:
+    def test_mean_rate(self):
+        p = HawkesParams(mu=100.0, alpha=0.5, beta=10.0)
+        assert p.mean_rate == pytest.approx(200.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mu": 0, "alpha": 0.5, "beta": 1},
+            {"mu": 10, "alpha": 1.0, "beta": 1},
+            {"mu": 10, "alpha": -0.1, "beta": 1},
+            {"mu": 10, "alpha": 0.5, "beta": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HawkesParams(**kwargs)
+
+
+class TestHawkesSampling:
+    def test_deterministic_given_seed(self):
+        a = sample_arrivals(CALM, sec_to_ns(2.0), seed=7)
+        b = sample_arrivals(CALM, sec_to_ns(2.0), seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sorted_within_horizon(self):
+        times = sample_arrivals(CALM, sec_to_ns(2.0), seed=1)
+        assert (np.diff(times) >= 0).all()
+        assert times[-1] < sec_to_ns(2.0)
+
+    def test_empirical_rate_near_stationary_mean(self):
+        params = HawkesParams(mu=500.0, alpha=0.5, beta=200.0)
+        times = sample_arrivals(params, sec_to_ns(20.0), seed=3)
+        rate = len(times) / 20.0
+        assert rate == pytest.approx(params.mean_rate, rel=0.15)
+
+    def test_bursty_params_cluster_more_than_calm(self):
+        bursty = traffic_stats(sample_arrivals(BURSTY, sec_to_ns(10.0), seed=5))
+        calm = traffic_stats(sample_arrivals(CALM, sec_to_ns(10.0), seed=5))
+        assert bursty.cv > calm.cv
+        assert bursty.burstiness > calm.burstiness
+
+    def test_intensity_decays_between_events(self):
+        process = HawkesProcess(BURSTY, np.random.default_rng(0))
+        t = process.next_event()
+        lam_now = process.intensity_at(t)
+        lam_later = process.intensity_at(t + 0.01)
+        assert lam_later < lam_now
+        assert lam_later >= BURSTY.mu
+
+
+class TestTrafficStats:
+    def test_poisson_has_cv_near_one(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(1e6, size=20_000)
+        times = np.cumsum(gaps).astype(np.int64)
+        stats = traffic_stats(times)
+        assert stats.cv == pytest.approx(1.0, abs=0.05)
+        assert abs(stats.burstiness) < 0.05
+
+    def test_degenerate_inputs(self):
+        stats = traffic_stats(np.array([], dtype=np.int64))
+        assert stats.n_ticks == 0
+        stats = traffic_stats(np.array([5], dtype=np.int64))
+        assert stats.mean_rate_hz == 0.0
+
+    def test_peak_rate_at_least_mean(self):
+        times = sample_arrivals(BURSTY, sec_to_ns(5.0), seed=2)
+        stats = traffic_stats(times)
+        assert stats.peak_rate_hz >= stats.mean_rate_hz
+
+    def test_describe_mentions_key_numbers(self):
+        from repro.market import describe
+
+        times = sample_arrivals(CALM, sec_to_ns(2.0), seed=2)
+        text = describe(traffic_stats(times))
+        assert "ticks" in text and "burst" in text
+
+
+class TestMarketSimulator:
+    @pytest.fixture(scope="class")
+    def tape(self):
+        return generate_session(duration_s=3.0, seed=11)
+
+    def test_tape_is_nonempty_and_ordered(self, tape):
+        assert len(tape) > 100
+        assert (np.diff(tape.timestamps) >= 0).all()
+
+    def test_snapshots_are_two_sided_mostly(self, tape):
+        mids = tape.mid_prices()
+        assert np.isfinite(mids).mean() > 0.95
+
+    def test_book_stays_near_initial_price(self, tape):
+        mids = tape.mid_prices()
+        mids = mids[np.isfinite(mids)]
+        assert abs(mids.mean() - 18_000) < 300
+
+    def test_deterministic(self):
+        a = generate_session(duration_s=1.0, seed=4)
+        b = generate_session(duration_s=1.0, seed=4)
+        assert len(a) == len(b)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        np.testing.assert_array_equal(a.feature_matrix(), b.feature_matrix())
+
+    def test_different_seeds_differ(self):
+        a = generate_session(duration_s=1.0, seed=4)
+        b = generate_session(duration_s=1.0, seed=5)
+        assert len(a) != len(b) or not np.array_equal(a.timestamps, b.timestamps)
+
+    def test_max_ticks_cap(self):
+        tape = MarketSimulator(MarketConfig(), seed=0).generate(5.0, max_ticks=50)
+        assert len(tape) == 50
+
+    def test_feature_matrix_shape(self, tape):
+        feats = tape.feature_matrix()
+        assert feats.shape == (len(tape), 40)
+
+
+class TestTickTape:
+    def test_save_load_roundtrip(self, tmp_path):
+        tape = generate_session(duration_s=1.0, seed=9)
+        path = tmp_path / "tape.ndjson"
+        tape.save(path)
+        loaded = TickTape.load(path)
+        assert len(loaded) == len(tape)
+        np.testing.assert_array_equal(loaded.timestamps, tape.timestamps)
+        np.testing.assert_array_equal(loaded.feature_matrix(), tape.feature_matrix())
+
+    def test_unordered_rejected(self):
+        tape = generate_session(duration_s=1.0, seed=9)
+        with pytest.raises(ValueError):
+            TickTape([tape[5], tape[1]])
+
+    def test_slicing_returns_tape(self):
+        tape = generate_session(duration_s=1.0, seed=9)
+        head = tape[:10]
+        assert isinstance(head, TickTape)
+        assert len(head) == 10
+
+    def test_horizon_deadline(self):
+        tape = generate_session(duration_s=1.0, seed=9)
+        deadline = tape.horizon_deadline(0, 10)
+        assert deadline == tape[10].timestamp
+        assert tape.horizon_deadline(len(tape) - 1, 10) is None
+
+    def test_inter_arrival_lengths(self):
+        tape = generate_session(duration_s=1.0, seed=9)
+        assert len(tape.inter_arrival_ns()) == len(tape) - 1

@@ -1,0 +1,281 @@
+"""Tests for offload engine, trading engine, DMA, stages and feed handler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.lob import DepthSnapshot, Side
+from repro.market import generate_session
+from repro.pipeline import (
+    DEFAULT_STAGES,
+    DMAModel,
+    FeedHandler,
+    LocalBookMirror,
+    NormalizationStats,
+    OffloadEngine,
+    Prediction,
+    RiskLimits,
+    TradingEngine,
+)
+from repro.protocol import (
+    ILink3Order,
+    PacketParser,
+    SecurityDirectory,
+    encode_market_events,
+    encode_udp_frame,
+)
+from repro.lob.events import BookUpdate, TradeTick, UpdateAction
+
+
+def snapshot(ts=0, bid=17_999, ask=18_001):
+    return DepthSnapshot(
+        symbol="ESU6",
+        timestamp=ts,
+        depth=10,
+        bids=((bid, 5), (bid - 1, 3)),
+        asks=((ask, 4), (ask + 1, 6)),
+    )
+
+
+class TestNormalizationStats:
+    def test_fit_and_apply(self):
+        tape = generate_session(duration_s=1.0, seed=3)
+        stats = NormalizationStats.fit(tape)
+        vec = stats.apply(tape[0].snapshot.feature_vector())
+        assert vec.shape == (40,)
+        assert np.abs(vec).max() < 50  # roughly standardised
+
+    def test_constant_feature_no_nan(self):
+        tape = generate_session(duration_s=1.0, seed=3)
+        stats = NormalizationStats.fit(tape)
+        assert np.isfinite(stats.apply(tape[5].snapshot.feature_vector())).all()
+
+    def test_too_short_rejected(self):
+        from repro.market import TickTape
+
+        with pytest.raises(SchedulingError):
+            NormalizationStats.fit(TickTape([]))
+
+
+class TestOffloadEngine:
+    def test_warmup_produces_no_queries(self):
+        engine = OffloadEngine(window=5, store_tensors=True)
+        for i in range(4):
+            assert engine.on_tick(snapshot(i), i, i + 100) is None
+        query = engine.on_tick(snapshot(4), 4, 104)
+        assert query is not None
+        assert query.tensor.shape == (5, 40)
+
+    def test_fifo_slides(self):
+        engine = OffloadEngine(window=3, store_tensors=True)
+        for i in range(5):
+            query = engine.on_tick(snapshot(i, bid=17_990 + i), i, i + 100)
+        # Last tensor holds the 3 most recent ticks.
+        assert query.tensor[-1][2] == 17_994  # bid price of latest tick
+
+    def test_overflow_drops_oldest(self):
+        engine = OffloadEngine(window=1, max_pending=3)
+        queries = [engine.on_tick(snapshot(i), i, i + 100) for i in range(5)]
+        assert engine.pending_count() == 3
+        assert engine.dropped_overflow == 2
+        assert queries[0].dropped and queries[1].dropped
+        assert engine.peek_pending() is queries[2]
+
+    def test_pop_batch_fifo_order(self):
+        engine = OffloadEngine(window=1)
+        queries = [engine.on_tick(snapshot(i), i, i + 100) for i in range(4)]
+        batch = engine.pop_batch(3)
+        assert batch == queries[:3]
+        assert engine.pending_count() == 1
+
+    def test_drop_stale(self):
+        engine = OffloadEngine(window=1)
+        engine.on_tick(snapshot(0), 0, deadline=10)
+        engine.on_tick(snapshot(1), 1, deadline=500)
+        dropped = engine.drop_stale(now=100)
+        assert len(dropped) == 1
+        assert engine.dropped_stale == 1
+        assert engine.pending_count() == 1
+
+    def test_drop_oldest(self):
+        engine = OffloadEngine(window=1)
+        first = engine.on_tick(snapshot(0), 0, 100)
+        engine.on_tick(snapshot(1), 1, 101)
+        victim = engine.drop_oldest()
+        assert victim is first
+        assert engine.dropped_unschedulable == 1
+
+    def test_pending_deadlines(self):
+        engine = OffloadEngine(window=1)
+        for i in range(4):
+            engine.on_tick(snapshot(i), i, 100 + i)
+        assert engine.pending_deadlines(2) == [100, 101]
+        assert engine.pending_deadlines(10) == [100, 101, 102, 103]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SchedulingError):
+            OffloadEngine(window=0)
+        with pytest.raises(SchedulingError):
+            OffloadEngine(max_pending=0)
+        with pytest.raises(SchedulingError):
+            OffloadEngine(window=1).pop_batch(0)
+
+
+class TestTradingEngine:
+    def probs(self, prediction, confidence=0.8):
+        p = np.full(3, (1 - confidence) / 2)
+        p[prediction] = confidence
+        return p
+
+    def test_up_prediction_buys(self):
+        engine = TradingEngine()
+        decision = engine.on_inference(self.probs(Prediction.UP), snapshot(), 1000)
+        assert decision.acted
+        assert decision.side is Side.BID
+        assert engine.position == 1
+        order = ILink3Order.decode(decision.encoded)
+        assert order.side is Side.BID
+
+    def test_down_prediction_sells(self):
+        engine = TradingEngine()
+        decision = engine.on_inference(self.probs(Prediction.DOWN), snapshot(), 1000)
+        assert decision.side is Side.ASK
+        assert engine.position == -1
+
+    def test_stationary_no_action(self):
+        engine = TradingEngine()
+        decision = engine.on_inference(self.probs(Prediction.STATIONARY), snapshot(), 0)
+        assert not decision.acted
+        assert engine.counters.stationary == 1
+
+    def test_low_confidence_suppressed(self):
+        engine = TradingEngine(limits=RiskLimits(min_confidence=0.9))
+        decision = engine.on_inference(self.probs(Prediction.UP, 0.5), snapshot(), 0)
+        assert not decision.acted
+        assert engine.counters.low_confidence == 1
+
+    def test_position_limit(self):
+        engine = TradingEngine(limits=RiskLimits(max_position=2))
+        for i in range(5):
+            engine.on_inference(self.probs(Prediction.UP), snapshot(), i)
+        assert engine.position == 2
+        assert engine.counters.position_limit == 3
+
+    def test_rate_limit(self):
+        engine = TradingEngine(limits=RiskLimits(max_orders_per_second=3))
+        for i in range(5):
+            engine.on_inference(self.probs(Prediction.UP), snapshot(ts=i), i)
+        assert engine.counters.accepted == 3
+        assert engine.counters.rate_limit == 2
+
+    def test_one_sided_market_no_order(self):
+        engine = TradingEngine()
+        one_sided = DepthSnapshot(
+            symbol="ESU6", timestamp=0, depth=10, bids=((18_000, 5),), asks=()
+        )
+        decision = engine.on_inference(self.probs(Prediction.UP), one_sided, 0)
+        assert not decision.acted
+        assert engine.counters.no_market == 1
+
+    def test_bad_probability_shape_rejected(self):
+        with pytest.raises(SchedulingError):
+            TradingEngine().on_inference(np.zeros(5), snapshot(), 0)
+
+    def test_price_clamped_to_band(self):
+        engine = TradingEngine(limits=RiskLimits(max_ticks_from_mid=2))
+        wild = DepthSnapshot(
+            symbol="ESU6",
+            timestamp=0,
+            depth=10,
+            bids=((17_000, 5),),
+            asks=((19_000, 5),),  # mid 18_000, touch far away
+        )
+        decision = engine.on_inference(self.probs(Prediction.UP), wild, 0)
+        assert decision.acted
+        assert abs(decision.price - 18_000) <= 2
+
+
+class TestDMAModel:
+    def test_round_trip_positive_and_monotone(self):
+        dma = DMAModel()
+        times = [dma.round_trip_ns(bs) for bs in (1, 2, 8, 16)]
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(SchedulingError):
+            DMAModel().round_trip_ns(0)
+
+    def test_setup_dominates_tiny_batches(self):
+        dma = DMAModel()
+        # Per-sample marginal cost is far below the fixed setup.
+        marginal = dma.input_transfer_ns(2) - dma.input_transfer_ns(1)
+        assert marginal < dma.input_transfer_ns(1)
+
+
+class TestStages:
+    def test_total_about_one_microsecond(self):
+        assert 500 <= DEFAULT_STAGES.total_ns <= 2_000
+
+    def test_pre_post_partition(self):
+        assert (
+            DEFAULT_STAGES.pre_inference_ns + DEFAULT_STAGES.post_inference_ns
+            == DEFAULT_STAGES.total_ns
+        )
+
+
+class TestFeedHandlerIntegration:
+    def test_frames_update_mirror(self):
+        directory = SecurityDirectory()
+        directory.register("ESU6")
+        handler = FeedHandler(PacketParser(directory, {"ESU6"}))
+        events = [
+            BookUpdate("ESU6", 10, UpdateAction.NEW, Side.BID, 18_000, 7, 1),
+            BookUpdate("ESU6", 10, UpdateAction.NEW, Side.ASK, 18_002, 4, 2),
+        ]
+        frame = encode_udp_frame(encode_market_events(events, directory, 10))
+        snapshots = handler.on_frame(frame)
+        assert len(snapshots) == 1
+        snap = snapshots[0]
+        assert snap.best_bid == 18_000
+        assert snap.best_ask == 18_002
+        assert snap.bids[0][1] == 7
+
+    def test_change_and_delete(self):
+        directory = SecurityDirectory()
+        directory.register("ESU6")
+        handler = FeedHandler(PacketParser(directory))
+        mirror = handler.mirror("ESU6")
+        mirror.apply(BookUpdate("ESU6", 1, UpdateAction.NEW, Side.BID, 18_000, 5, 1))
+        mirror.apply(BookUpdate("ESU6", 2, UpdateAction.CHANGE, Side.BID, 18_000, 9, 2))
+        assert mirror.book.bids.level_at(18_000).volume == 9
+        mirror.apply(BookUpdate("ESU6", 3, UpdateAction.DELETE, Side.BID, 18_000, 0, 3))
+        assert mirror.book.bids.is_empty
+
+    def test_trade_updates_last_trade(self):
+        mirror = LocalBookMirror("ESU6")
+        mirror.apply(TradeTick("ESU6", 5, 18_001, 3, Side.BID, 1))
+        snap = mirror.snapshot(6)
+        assert snap.last_trade_price == 18_001
+        assert snap.last_trade_quantity == 3
+
+    def test_end_to_end_market_to_features(self):
+        """Exchange events -> SBE -> UDP -> parser -> mirror -> tensor."""
+        from repro.lob import MatchingEngine, Order
+
+        directory = SecurityDirectory()
+        directory.register("ESU6")
+        handler = FeedHandler(PacketParser(directory))
+        exchange = MatchingEngine()
+        offload = OffloadEngine(window=2, store_tensors=True)
+
+        query = None
+        for i, (side, price) in enumerate(
+            [(Side.BID, 18_000), (Side.ASK, 18_002), (Side.BID, 17_999), (Side.ASK, 18_003)]
+        ):
+            result = exchange.submit("ESU6", Order(side=side, price=price, quantity=5), i)
+            frame = encode_udp_frame(encode_market_events(result.events, directory, i))
+            for snap in handler.on_frame(frame):
+                query = offload.on_tick(snap, i, i + 1000) or query
+        assert query is not None
+        assert query.tensor.shape == (2, 40)

@@ -1,0 +1,171 @@
+"""Tests for the SBE codec and market-event encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.lob import BookUpdate, Side, TradeTick, UpdateAction
+from repro.protocol import (
+    MD_INCREMENTAL_REFRESH_BOOK,
+    FieldSpec,
+    GroupSpec,
+    MessageSchema,
+    SecurityDirectory,
+    decode_market_events,
+    decode_message,
+    encode_market_events,
+    encode_message,
+    peek_template_id,
+)
+
+TOY = MessageSchema(
+    name="Toy",
+    template_id=7,
+    root_fields=(FieldSpec("a", "I"), FieldSpec("b", "h")),
+    groups=(GroupSpec("items", (FieldSpec("x", "q"), FieldSpec("y", "B"))),),
+)
+
+
+class TestGenericCodec:
+    def test_roundtrip(self):
+        msg = {"a": 42, "b": -3, "items": [{"x": 10**12, "y": 255}, {"x": -5, "y": 0}]}
+        assert decode_message(TOY, encode_message(TOY, msg)) == msg
+
+    def test_empty_group(self):
+        msg = {"a": 1, "b": 2, "items": []}
+        assert decode_message(TOY, encode_message(TOY, msg))["items"] == []
+
+    def test_peek_template_id(self):
+        payload = encode_message(TOY, {"a": 1, "b": 2, "items": []})
+        assert peek_template_id(payload) == 7
+
+    def test_wrong_template_rejected(self):
+        payload = encode_message(TOY, {"a": 1, "b": 2, "items": []})
+        with pytest.raises(ProtocolError):
+            decode_message(MD_INCREMENTAL_REFRESH_BOOK, payload)
+
+    def test_missing_root_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(TOY, {"a": 1, "items": []})
+
+    def test_missing_group_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(TOY, {"a": 1, "b": 2, "items": [{"x": 1}]})
+
+    def test_truncated_payload_rejected(self):
+        payload = encode_message(TOY, {"a": 1, "b": 2, "items": [{"x": 1, "y": 2}]})
+        for cut in (3, 9, len(payload) - 1):
+            with pytest.raises(ProtocolError):
+                decode_message(TOY, payload[:cut])
+
+    def test_oversized_group_rejected(self):
+        entries = [{"x": 0, "y": 0}] * 300
+        with pytest.raises(ProtocolError):
+            encode_message(TOY, {"a": 1, "b": 2, "items": entries})
+
+    @given(
+        a=st.integers(min_value=0, max_value=2**32 - 1),
+        b=st.integers(min_value=-(2**15), max_value=2**15 - 1),
+        items=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "x": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                    "y": st.integers(min_value=0, max_value=255),
+                }
+            ),
+            max_size=50,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, a, b, items):
+        msg = {"a": a, "b": b, "items": items}
+        assert decode_message(TOY, encode_message(TOY, msg)) == msg
+
+
+class TestSecurityDirectory:
+    def test_register_and_lookup(self):
+        d = SecurityDirectory()
+        sid = d.register("ESU6")
+        assert d.id_of("ESU6") == sid
+        assert d.symbol_of(sid) == "ESU6"
+
+    def test_register_idempotent(self):
+        d = SecurityDirectory()
+        assert d.register("ESU6") == d.register("ESU6")
+
+    def test_duplicate_id_rejected(self):
+        d = SecurityDirectory()
+        d.register("ESU6", 5)
+        with pytest.raises(ProtocolError):
+            d.register("NQU6", 5)
+
+    def test_unknown_lookups_raise(self):
+        d = SecurityDirectory()
+        with pytest.raises(ProtocolError):
+            d.id_of("NOPE")
+        with pytest.raises(ProtocolError):
+            d.symbol_of(99)
+
+
+class TestMarketEventEncoding:
+    @pytest.fixture
+    def directory(self):
+        d = SecurityDirectory()
+        d.register("ESU6")
+        return d
+
+    def test_book_update_roundtrip(self, directory):
+        update = BookUpdate(
+            symbol="ESU6",
+            timestamp=123,
+            action=UpdateAction.CHANGE,
+            side=Side.ASK,
+            price=18_005,
+            volume=17,
+            sequence=9,
+        )
+        payload = encode_market_events([update], directory, transact_time=123)
+        t, events = decode_market_events(payload, directory)
+        assert t == 123
+        decoded = events[0]
+        assert isinstance(decoded, BookUpdate)
+        assert decoded.price == 18_005
+        assert decoded.volume == 17
+        assert decoded.side is Side.ASK
+        assert decoded.action is UpdateAction.CHANGE
+        assert decoded.sequence == 9
+
+    def test_trade_roundtrip(self, directory):
+        trade = TradeTick(
+            symbol="ESU6",
+            timestamp=55,
+            price=18_001,
+            quantity=3,
+            aggressor_side=Side.BID,
+            sequence=2,
+        )
+        payload = encode_market_events([trade], directory, transact_time=55)
+        __, events = decode_market_events(payload, directory)
+        decoded = events[0]
+        assert isinstance(decoded, TradeTick)
+        assert decoded.price == 18_001
+        assert decoded.quantity == 3
+
+    def test_mixed_batch_preserves_order(self, directory):
+        events = [
+            BookUpdate("ESU6", 1, UpdateAction.NEW, Side.BID, 18_000, 5, 1),
+            TradeTick("ESU6", 1, 18_001, 2, Side.BID, 2),
+            BookUpdate("ESU6", 1, UpdateAction.DELETE, Side.ASK, 18_001, 0, 3),
+        ]
+        payload = encode_market_events(events, directory, transact_time=1)
+        __, decoded = decode_market_events(payload, directory)
+        assert [type(e).__name__ for e in decoded] == [
+            "BookUpdate",
+            "TradeTick",
+            "BookUpdate",
+        ]
+
+    def test_unknown_symbol_rejected(self, directory):
+        update = BookUpdate("NOPE", 1, UpdateAction.NEW, Side.BID, 1, 1, 1)
+        with pytest.raises(ProtocolError):
+            encode_market_events([update], directory, transact_time=1)

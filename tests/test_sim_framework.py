@@ -1,0 +1,202 @@
+"""Tests for the event queue, workload builders and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.market import generate_session
+from repro.pipeline.offload import Query
+from repro.sim import (
+    EventKind,
+    EventQueue,
+    FixedDeadline,
+    HorizonDeadline,
+    MetricsCollector,
+    OpportunityDeadline,
+    QueryWorkload,
+    Regime,
+    TrafficSpec,
+    synthetic_workload,
+)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(30, EventKind.ARRIVAL, "c")
+        queue.push(10, EventKind.ARRIVAL, "a")
+        queue.push(20, EventKind.ARRIVAL, "b")
+        assert [queue.pop()[2] for __ in range(3)] == ["a", "b", "c"]
+
+    def test_completion_before_arrival_at_same_time(self):
+        queue = EventQueue()
+        queue.push(10, EventKind.ARRIVAL, "arrival")
+        queue.push(10, EventKind.COMPLETION, "completion")
+        assert queue.pop()[2] == "completion"
+
+    def test_insertion_order_tiebreak(self):
+        queue = EventQueue()
+        queue.push(10, EventKind.ARRIVAL, 1)
+        queue.push(10, EventKind.ARRIVAL, 2)
+        assert queue.pop()[2] == 1
+
+    def test_no_time_travel(self):
+        queue = EventQueue()
+        queue.push(100, EventKind.ARRIVAL, None)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.push(50, EventKind.ARRIVAL, None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_pops_sorted_property(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, EventKind.ARRIVAL, None)
+        popped = [queue.pop()[0] for __ in range(len(times))]
+        assert popped == sorted(times)
+
+
+class TestDeadlinePolicies:
+    def test_horizon_deadline(self):
+        ts = np.array([0, 10, 20, 30, 40], dtype=np.int64)
+        deadlines = HorizonDeadline(horizon=2).deadlines(ts)
+        np.testing.assert_array_equal(deadlines, [20, 30, 40, -1, -1])
+
+    def test_fixed_deadline(self):
+        ts = np.array([0, 10], dtype=np.int64)
+        np.testing.assert_array_equal(FixedDeadline(5).deadlines(ts), [5, 15])
+
+    def test_opportunity_deadline_distribution(self):
+        ts = np.zeros(50_000, dtype=np.int64)
+        policy = OpportunityDeadline(median_ns=1_000_000, sigma=1.0, seed=0)
+        budgets = policy.deadlines(ts)
+        assert np.median(budgets) == pytest.approx(1_000_000, rel=0.05)
+        # lognormal: ~16% below median/e^sigma
+        assert np.mean(budgets < 1_000_000 / np.e) == pytest.approx(0.16, abs=0.02)
+
+    def test_opportunity_deterministic(self):
+        ts = np.arange(100, dtype=np.int64)
+        a = OpportunityDeadline(seed=5).deadlines(ts)
+        b = OpportunityDeadline(seed=5).deadlines(ts)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_params(self):
+        ts = np.zeros(3, dtype=np.int64)
+        with pytest.raises(SimulationError):
+            HorizonDeadline(0).deadlines(ts)
+        with pytest.raises(SimulationError):
+            FixedDeadline(0).deadlines(ts)
+        with pytest.raises(SimulationError):
+            OpportunityDeadline(median_ns=0).deadlines(ts)
+
+
+class TestWorkload:
+    def test_from_tape(self):
+        tape = generate_session(duration_s=1.0, seed=2)
+        workload = QueryWorkload.from_tape(tape, HorizonDeadline(horizon=10))
+        assert len(workload) == len(tape)
+        assert workload.scored_count == len(tape) - 10
+
+    def test_synthetic_deterministic(self):
+        a = synthetic_workload(10.0, seed=3)
+        b = synthetic_workload(10.0, seed=3)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        np.testing.assert_array_equal(a.deadlines, b.deadlines)
+
+    def test_synthetic_sorted_and_tagged(self):
+        wl = synthetic_workload(10.0, seed=3)
+        assert (np.diff(wl.timestamps) >= 0).all()
+        assert wl.regimes is not None
+        assert set(np.unique(wl.regimes)) <= {"calm", "elevated", "active", "burst"}
+
+    def test_regime_rates_ordered(self):
+        """Median gaps per regime should follow the configured rates."""
+        wl = synthetic_workload(60.0, seed=3)
+        gaps = np.diff(wl.timestamps)
+        regimes = wl.regimes[1:]
+        medians = {}
+        for name in ("calm", "burst"):
+            mask = regimes == name
+            if mask.sum() > 10:
+                medians[name] = np.median(gaps[mask])
+        assert medians["burst"] < medians["calm"]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(SimulationError):
+            QueryWorkload(
+                timestamps=np.array([1, 2], dtype=np.int64),
+                deadlines=np.array([5], dtype=np.int64),
+            )
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(SimulationError):
+            QueryWorkload(
+                timestamps=np.array([5, 1], dtype=np.int64),
+                deadlines=np.array([9, 9], dtype=np.int64),
+            )
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            TrafficSpec(episode_weights=(1.0,))
+        with pytest.raises(SimulationError):
+            Regime("x", rate_hz=0, mean_dwell_s=1)
+        with pytest.raises(SimulationError):
+            synthetic_workload(0.0)
+
+
+class TestMetrics:
+    def make_query(self, arrival=0, deadline=1_000_000):
+        return Query(query_id=0, tick_index=0, arrival=arrival, deadline=deadline)
+
+    def test_response_and_miss(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.record_completion(self.make_query(), order_time=500_000, batch_size=1)
+        metrics.record_completion(self.make_query(), order_time=2_000_000, batch_size=1)
+        metrics.record_drop(self.make_query())
+        result = metrics.result()
+        assert result.n_queries == 3
+        assert result.responded == 1
+        assert result.completed_late == 1
+        assert result.dropped == 1
+        assert result.response_rate == pytest.approx(1 / 3)
+        assert result.miss_rate == pytest.approx(2 / 3)
+
+    def test_unscored_excluded(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.record_completion(self.make_query(deadline=-1), 100, 1)
+        metrics.record_drop(self.make_query(deadline=-1))
+        result = metrics.result()
+        assert result.n_queries == 0
+        assert metrics.unscored == 2
+
+    def test_latency_statistics(self):
+        metrics = MetricsCollector("sys", "model")
+        for us in (100, 200, 300):
+            metrics.record_completion(
+                self.make_query(arrival=0), order_time=us * 1_000, batch_size=2
+            )
+        result = metrics.result()
+        assert result.mean_latency_us == pytest.approx(200)
+        assert result.p50_latency_us == pytest.approx(200)
+        assert result.mean_batch_size == 2.0
+
+    def test_power_integration(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.sample_power(0, 10.0)
+        metrics.sample_power(1_000_000_000, 20.0)  # 1 s at 10 W
+        metrics.sample_power(2_000_000_000, 0.0)  # 1 s at 20 W
+        result = metrics.result()
+        assert result.energy_j == pytest.approx(30.0)
+        assert result.mean_power_w == pytest.approx(15.0)
+        assert result.peak_power_w == 20.0
+
+    def test_describe(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.record_completion(self.make_query(), 100, 1)
+        assert "sys/model" in metrics.result().describe()

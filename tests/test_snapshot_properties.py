@@ -1,0 +1,101 @@
+"""Property tests for depth snapshots and the offload queue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lob import DepthSnapshot
+from repro.pipeline import OffloadEngine
+
+
+levels = st.lists(
+    st.tuples(st.integers(1, 100_000), st.integers(1, 10_000)),
+    min_size=0,
+    max_size=10,
+)
+
+
+def normalise(bids, asks):
+    """Make sides consistent: bids descending, asks ascending, uncrossed."""
+    bids = sorted(set(bids), key=lambda x: -x[0])
+    asks = sorted(set(asks), key=lambda x: x[0])
+    if bids and asks and bids[0][0] >= asks[0][0]:
+        asks = [(p + bids[0][0], v) for p, v in asks]
+    return tuple(bids), tuple(asks)
+
+
+class TestSnapshotProperties:
+    @given(levels, levels)
+    @settings(max_examples=200, deadline=None)
+    def test_feature_vector_always_well_formed(self, raw_bids, raw_asks):
+        bids, asks = normalise(raw_bids, raw_asks)
+        snap = DepthSnapshot(
+            symbol="S", timestamp=0, depth=10, bids=bids, asks=asks
+        )
+        vec = snap.feature_vector()
+        assert vec.shape == (40,)
+        assert np.isfinite(vec).all()
+        # Present levels are embedded verbatim.
+        for i, (price, vol) in enumerate(asks[:10]):
+            assert vec[4 * i] == price
+            assert vec[4 * i + 1] == vol
+        for i, (price, vol) in enumerate(bids[:10]):
+            assert vec[4 * i + 2] == price
+            assert vec[4 * i + 3] == vol
+
+    @given(levels, levels)
+    @settings(max_examples=200, deadline=None)
+    def test_padded_prices_monotone(self, raw_bids, raw_asks):
+        """Ask price padding ascends; bid price padding descends."""
+        bids, asks = normalise(raw_bids, raw_asks)
+        snap = DepthSnapshot(symbol="S", timestamp=0, depth=10, bids=bids, asks=asks)
+        vec = snap.feature_vector()
+        ask_prices = vec[0::4]
+        bid_prices = vec[2::4]
+        assert (np.diff(ask_prices) >= 0).all()
+        assert (np.diff(bid_prices) <= 0).all()
+
+    @given(st.integers(0, 1_000), st.integers(0, 1_000))
+    @settings(max_examples=100, deadline=None)
+    def test_imbalance_bounded(self, bid_vol, ask_vol):
+        bids = ((100, bid_vol),) if bid_vol else ()
+        asks = ((101, ask_vol),) if ask_vol else ()
+        snap = DepthSnapshot(symbol="S", timestamp=0, depth=10, bids=bids, asks=asks)
+        assert -1.0 <= snap.imbalance() <= 1.0
+
+
+class TestOffloadQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["tick", "pop", "drop", "stale"]),
+                      st.integers(1, 4)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_queue_accounting_invariant(self, ops):
+        """created == pending + popped + dropped at all times."""
+        engine = OffloadEngine(window=1, max_pending=8)
+        snap = DepthSnapshot(
+            symbol="S", timestamp=0, depth=10, bids=((100, 1),), asks=((101, 1),)
+        )
+        created = popped = 0
+        now = 0
+        for op, arg in ops:
+            now += 10
+            if op == "tick":
+                for __ in range(arg):
+                    if engine.on_tick(snap, now, now + 50) is not None:
+                        created += 1
+            elif op == "pop":
+                popped += len(engine.pop_batch(arg))
+            elif op == "drop":
+                if engine.drop_oldest() is not None:
+                    pass
+            else:
+                engine.drop_stale(now)
+            assert (
+                engine.pending_count() + popped + engine.total_dropped == created
+            )
+            assert engine.pending_count() <= 8

@@ -1,0 +1,158 @@
+"""Tests for labelling, the trainable classifier and P&L accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.lob import Side
+from repro.market import generate_session
+from repro.strategy import (
+    DOWN,
+    STATIONARY,
+    UP,
+    PnLTracker,
+    SoftmaxClassifier,
+    build_dataset,
+    movement_labels,
+)
+
+
+class TestLabels:
+    def test_trending_up_labelled_up(self):
+        mids = np.linspace(100, 110, 200)
+        labels = movement_labels(mids, horizon=10, threshold=1e-4)
+        core = labels[10:-10]
+        assert (core == UP).all()
+
+    def test_trending_down_labelled_down(self):
+        mids = np.linspace(110, 100, 200)
+        labels = movement_labels(mids, horizon=10, threshold=1e-4)
+        assert (labels[10:-10] == DOWN).all()
+
+    def test_flat_labelled_stationary(self):
+        mids = np.full(100, 50.0)
+        labels = movement_labels(mids, horizon=10, threshold=1e-4)
+        assert (labels[10:-10] == STATIONARY).all()
+
+    def test_edges_undefined(self):
+        labels = movement_labels(np.linspace(1, 2, 50), horizon=10)
+        assert (labels[:10] == -1).all()
+        assert (labels[-10:] == -1).all()
+
+    def test_invalid_horizon(self):
+        with pytest.raises(SimulationError):
+            movement_labels(np.ones(10), horizon=0)
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def tape(self):
+        return generate_session(duration_s=4.0, seed=21)
+
+    def test_build_shapes(self, tape):
+        ds = build_dataset(tape, window=50, horizon=10)
+        assert ds.features.shape[1:] == (50, 40)
+        assert len(ds.features) == len(ds.labels) == len(ds.indices)
+        assert set(np.unique(ds.labels)) <= {0, 1, 2}
+
+    def test_class_balance_sums_to_one(self, tape):
+        ds = build_dataset(tape, window=50, horizon=10)
+        assert ds.class_balance().sum() == pytest.approx(1.0)
+
+    def test_chronological_split(self, tape):
+        ds = build_dataset(tape, window=50, horizon=10)
+        train, test = ds.split(0.7)
+        assert len(train) + len(test) == len(ds)
+        assert train.indices[-1] < test.indices[0]
+
+    def test_invalid_split(self, tape):
+        ds = build_dataset(tape, window=50, horizon=10)
+        with pytest.raises(SimulationError):
+            ds.split(1.5)
+
+    def test_too_short_tape_rejected(self):
+        tape = generate_session(duration_s=0.05, seed=0)
+        with pytest.raises(SimulationError):
+            build_dataset(tape, window=100_000, horizon=10)
+
+
+class TestClassifier:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(0)
+        n = 600
+        x = rng.standard_normal((n, 4, 5)).astype(np.float32)
+        y = (x[:, 0, 0] > 0.5).astype(int) + (x[:, 0, 0] > -0.5).astype(int)
+        from repro.strategy.labels import LabelledDataset
+
+        ds = LabelledDataset(x, y.astype(np.int64), np.arange(n))
+        train, test = ds.split(0.7)
+        clf = SoftmaxClassifier(seed=1)
+        report = clf.fit(train, epochs=60, learning_rate=0.3, test=test)
+        assert report.test_accuracy > report.baseline_accuracy + 0.1
+        assert report.train_losses[-1] < report.train_losses[0]
+
+    def test_predict_before_fit_rejected(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            SoftmaxClassifier().predict_proba(np.zeros((1, 2, 2)))
+
+    def test_probabilities_valid(self):
+        rng = np.random.default_rng(0)
+        from repro.strategy.labels import LabelledDataset
+
+        ds = LabelledDataset(
+            rng.standard_normal((50, 3, 3)).astype(np.float32),
+            rng.integers(0, 3, 50),
+            np.arange(50),
+        )
+        clf = SoftmaxClassifier()
+        clf.fit(ds, epochs=2)
+        probs = clf.predict_proba(ds.features)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+        assert (probs >= 0).all()
+
+
+class TestPnL:
+    def test_round_trip_profit(self):
+        pnl = PnLTracker(fee_per_contract=0.0)
+        pnl.on_fill(Side.BID, price_ticks=18_000, quantity=1)  # buy at 4500.00
+        pnl.on_fill(Side.ASK, price_ticks=18_004, quantity=1)  # sell at 4501.00
+        report = pnl.report(final_mid_ticks=18_004)
+        assert report.net_pnl == pytest.approx(1.0 * 50.0)  # 1 point * $50
+        assert report.final_position == 0
+        assert report.hit_rate == 1.0
+
+    def test_round_trip_loss(self):
+        pnl = PnLTracker(fee_per_contract=0.0)
+        pnl.on_fill(Side.BID, 18_000, 1)
+        pnl.on_fill(Side.ASK, 17_996, 1)
+        report = pnl.report(17_996)
+        assert report.net_pnl == pytest.approx(-50.0)
+        assert report.hit_rate == 0.0
+
+    def test_fees_reduce_pnl(self):
+        flat = PnLTracker(fee_per_contract=0.0)
+        fees = PnLTracker(fee_per_contract=1.0)
+        for tracker in (flat, fees):
+            tracker.on_fill(Side.BID, 18_000, 1)
+            tracker.on_fill(Side.ASK, 18_000, 1)
+        assert fees.report(18_000).net_pnl == flat.report(18_000).net_pnl - 2.0
+
+    def test_mark_to_market_open_position(self):
+        pnl = PnLTracker(fee_per_contract=0.0)
+        pnl.on_fill(Side.BID, 18_000, 2)
+        equity = pnl.mark(18_002)
+        assert equity == pytest.approx(2 * 2 * 0.25 * 50.0)  # 2 lots, 2 ticks
+
+    def test_drawdown_computed(self):
+        pnl = PnLTracker(fee_per_contract=0.0)
+        pnl.on_fill(Side.BID, 18_000, 1)
+        pnl.mark(18_008)  # up
+        pnl.mark(17_992)  # down
+        report = pnl.report(17_992)
+        assert report.max_drawdown == pytest.approx((18_008 - 17_992) * 0.25 * 50)
+
+    def test_invalid_fill_rejected(self):
+        with pytest.raises(SimulationError):
+            PnLTracker().on_fill(Side.BID, 18_000, 0)

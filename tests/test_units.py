@@ -1,0 +1,88 @@
+"""Tests for unit conversions and the paper-data module."""
+
+import pytest
+
+from repro import paperdata
+from repro.units import (
+    DEFAULT_TICK_SIZE,
+    cycles_to_ns,
+    ms_to_ns,
+    ns_to_cycles,
+    ns_to_ms,
+    ns_to_sec,
+    ns_to_us,
+    price_to_ticks,
+    sec_to_ns,
+    ticks_to_price,
+    us_to_ns,
+)
+
+
+class TestTimeConversions:
+    def test_roundtrips(self):
+        assert ns_to_us(us_to_ns(119.0)) == pytest.approx(119.0)
+        assert ns_to_ms(ms_to_ns(2.5)) == pytest.approx(2.5)
+        assert ns_to_sec(sec_to_ns(1.75)) == pytest.approx(1.75)
+
+    def test_integer_output(self):
+        assert isinstance(us_to_ns(0.5), int)
+        assert us_to_ns(0.5) == 500
+
+    def test_cycles(self):
+        # 2 GHz: 1000 cycles = 500 ns.
+        assert cycles_to_ns(1000, 2e9) == 500
+        assert ns_to_cycles(500, 2e9) == pytest.approx(1000)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_ns(100, 0)
+
+
+class TestPriceConversions:
+    def test_roundtrip(self):
+        assert ticks_to_price(price_to_ticks(4500.25)) == pytest.approx(4500.25)
+
+    def test_emini_tick(self):
+        assert DEFAULT_TICK_SIZE == 0.25
+        assert price_to_ticks(4500.0) == 18_000
+
+
+class TestPaperData:
+    def test_fig11_speedup_consistency(self):
+        """Published speed-ups should be near the mean of plausible
+        per-model ratios (sanity of the baseline anchoring)."""
+        from repro.baselines.profiles import FPGA_RATIO, GPU_RATIO
+        import statistics
+
+        assert statistics.mean(GPU_RATIO.values()) == pytest.approx(
+            paperdata.FIG11_GPU_SPEEDUP, rel=0.02
+        )
+        assert statistics.mean(FPGA_RATIO.values()) == pytest.approx(
+            paperdata.FIG11_FPGA_SPEEDUP, rel=0.02
+        )
+
+    def test_table3_budgets_divide_evenly(self):
+        for condition, total in (
+            ("sufficient", paperdata.TABLE3_SUFFICIENT_TOTAL_W),
+            ("limited", paperdata.TABLE3_LIMITED_TOTAL_W),
+        ):
+            for n, share in paperdata.TABLE3_AVAILABLE_W[condition].items():
+                assert share == pytest.approx(total / n, abs=0.06)
+
+    def test_table3_frequencies_monotone_in_budget(self):
+        """More accelerators -> smaller share -> never a faster clock."""
+        for condition in ("sufficient", "limited"):
+            for model, row in paperdata.TABLE3_FREQ_GHZ[condition].items():
+                values = [row[n] for n in paperdata.ACCELERATOR_COUNTS]
+                assert values == sorted(values, reverse=True)
+
+    def test_system_power_reproduces_efficiency_gains(self):
+        """speedup x power ratio equals the published TFLOPS/W gains."""
+        gpu_gain = paperdata.FIG11_GPU_SPEEDUP * (
+            paperdata.SYSTEM_POWER_W["gpu"] / paperdata.SYSTEM_POWER_W["lighttrader"]
+        )
+        fpga_gain = paperdata.FIG11_FPGA_SPEEDUP * (
+            paperdata.SYSTEM_POWER_W["fpga"] / paperdata.SYSTEM_POWER_W["lighttrader"]
+        )
+        assert gpu_gain == pytest.approx(paperdata.FIG11_GPU_EFFICIENCY_GAIN, rel=0.02)
+        assert fpga_gain == pytest.approx(paperdata.FIG11_FPGA_EFFICIENCY_GAIN, rel=0.02)
