@@ -8,13 +8,29 @@ EXPERIMENTS.md can be assembled from the same artifacts.
 Workload sizing: REPRO_BENCH_DURATION (seconds of simulated market time,
 default 60) controls simulation length; the calibration targets in
 EXPERIMENTS.md were measured at 300 s.
+
+Observability: set REPRO_TRACE_DIR to make every back-test a benchmark
+drives write a per-run JSONL telemetry trace there (rendered with
+``python -m repro.telemetry.report <dir>``).
 """
 
+import os
 import pathlib
 
 import pytest
 
+from repro.telemetry import TRACE_DIR_ENV, configure_logging
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _logging_and_trace_note():
+    log = configure_logging()
+    trace_dir = os.environ.get(TRACE_DIR_ENV)
+    if trace_dir:
+        log.info("telemetry enabled: JSONL traces land in %s", trace_dir)
+    yield
 
 
 @pytest.fixture

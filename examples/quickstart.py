@@ -7,31 +7,43 @@ Runs in under a minute:
 2. Derive a back-test workload (tick timestamps + opportunity deadlines).
 3. Replay it through the LightTrader system model (single accelerator)
    and through the GPU-based and FPGA-based baselines.
-4. Print tick-to-trade and response-rate comparisons.
+4. Replay with the proactive scheduler (WS+DS) enabled.
+5. Re-run with telemetry enabled and render the tick-to-trade breakdown
+   and miss-rate attribution from the JSONL trace.
 
 Usage::
 
     python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
+from repro import configure_logging
 from repro.baselines import fpga_profile, gpu_profile, lighttrader_profile
 from repro.market import describe, generate_session, traffic_stats
 from repro.sim import Backtester, OpportunityDeadline, QueryWorkload, SimConfig
+from repro.telemetry import Telemetry, TraceWriter
+from repro.telemetry.report import render_report
+
+log = configure_logging()
 
 
 def main() -> None:
-    print("=== 1. Synthetic market session ===")
+    log.info("=== 1. Synthetic market session ===")
     tape = generate_session(duration_s=20.0, seed=42)
-    print(f"Recorded {len(tape)} ticks over {tape.duration_ns / 1e9:.1f} s")
-    print(describe(traffic_stats(tape.timestamps)))
+    log.info("Recorded %d ticks over %.1f s", len(tape), tape.duration_ns / 1e9)
+    log.info("%s", describe(traffic_stats(tape.timestamps)))
     mids = tape.mid_prices()
-    print(f"Mid price: start {mids[0] / 4:.2f}, end {mids[-1] / 4:.2f} index points")
+    log.info(
+        "Mid price: start %.2f, end %.2f index points", mids[0] / 4, mids[-1] / 4
+    )
 
-    print("\n=== 2. Back-test workload ===")
+    log.info("=== 2. Back-test workload ===")
     workload = QueryWorkload.from_tape(tape, OpportunityDeadline())
-    print(f"{len(workload)} queries, {workload.scored_count} scored")
+    log.info("%d queries, %d scored", len(workload), workload.scored_count)
 
-    print("\n=== 3. Replay through the three systems ===")
+    log.info("=== 3. Replay through the three systems ===")
     profiles = {
         "LightTrader (1 accel)": lighttrader_profile(),
         "GPU-based (V100)": gpu_profile(),
@@ -41,20 +53,26 @@ def main() -> None:
         result = Backtester(
             workload, profile, SimConfig(model="deeplob", n_accelerators=1)
         ).run()
-        print(f"{label:24s} {result.describe()}")
+        log.info("%-24s %s", label, result.describe())
 
-    print("\n=== 4. LightTrader with the proactive scheduler ===")
-    result = Backtester(
-        workload,
-        lighttrader_profile(),
-        SimConfig(
-            model="deeplob",
-            n_accelerators=1,
-            workload_scheduling=True,
-            dvfs_scheduling=True,
-        ),
-    ).run()
-    print(f"{'LightTrader (WS+DS)':24s} {result.describe()}")
+    log.info("=== 4. LightTrader with the proactive scheduler ===")
+    ws_ds = SimConfig(
+        model="deeplob",
+        n_accelerators=1,
+        workload_scheduling=True,
+        dvfs_scheduling=True,
+    )
+    result = Backtester(workload, lighttrader_profile(), ws_ds).run()
+    log.info("%-24s %s", "LightTrader (WS+DS)", result.describe())
+
+    log.info("=== 5. Same run, traced: where does tick-to-trade go? ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "quickstart-ws_ds.jsonl"
+        with Telemetry(writer=TraceWriter(trace_path)) as telemetry:
+            Backtester(
+                workload, lighttrader_profile(), ws_ds, telemetry=telemetry
+            ).run()
+        print(render_report(trace_path))
 
 
 if __name__ == "__main__":

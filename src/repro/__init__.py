@@ -12,15 +12,23 @@ of the paper's evaluation.
 
 Quick start::
 
-    from repro import generate_session, lighttrader_profile
+    from repro import configure_logging, generate_session, lighttrader_profile
     from repro import Backtester, QueryWorkload, SimConfig, OpportunityDeadline
 
+    log = configure_logging()  # module-level logging, not bare print()
     tape = generate_session(duration_s=10.0, seed=42)
     workload = QueryWorkload.from_tape(tape, OpportunityDeadline())
     result = Backtester(workload, lighttrader_profile(),
                         SimConfig(model="deeplob")).run()
-    print(result.describe())
+    log.info("%s", result.describe())
+
+Observability: set ``REPRO_TRACE_DIR`` (or pass ``telemetry=`` to the
+:class:`Backtester`) to stream per-query span traces, scheduler decision
+logs and the power/DVFS timeline to JSONL, then render them with
+``python -m repro.telemetry.report <dir>``.
 """
+
+import logging as _logging
 
 from repro.accelerator import (
     AcceleratorCluster,
@@ -77,6 +85,9 @@ from repro.sim import (
     SimConfig,
     synthetic_workload,
 )
+from repro.telemetry import Registry, Telemetry, TraceWriter, configure_logging
+
+logger = _logging.getLogger(__name__)
 
 __version__ = "1.0.0"
 
@@ -106,11 +117,14 @@ __all__ = [
     "PowerModel",
     "Precision",
     "QueryWorkload",
+    "Registry",
     "RiskLimits",
     "RunResult",
     "Side",
     "SimConfig",
+    "Telemetry",
     "TickTape",
+    "TraceWriter",
     "TradingEngine",
     "WorkloadScheduler",
     "bandwidth_ratio",
@@ -122,6 +136,7 @@ __all__ = [
     "build_vanilla_cnn",
     "compile_model",
     "complexity_sweep",
+    "configure_logging",
     "cost_from_model",
     "fit_activity_coefficients",
     "fpga_profile",

@@ -53,6 +53,9 @@ class Accelerator:
         self.available_at = 0  # includes any in-flight DVFS switch
         self.current: IssueRecord | None = None
         self.completed: int = 0
+        # Telemetry hook: called as (now, accel_id, old_point, new_point,
+        # reason) on every PMIC transition.  None = uninstrumented.
+        self.on_transition = None
 
     def is_idle(self, now: int) -> bool:
         """True when no batch is in flight at time ``now``."""
@@ -75,6 +78,8 @@ class Accelerator:
             )
         if point == self.point:
             return now
+        if self.on_transition is not None:
+            self.on_transition(now, self.accel_id, self.point, point, "idle_repoint")
         self.point = point
         self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
         return self.available_at
@@ -128,6 +133,12 @@ class Accelerator:
         if new_remaining_ns < 0:
             raise AcceleratorError("remaining time cannot be negative")
         switch = DVFS_SWITCH_NS if point != self.point else 0
+        if switch and self.on_transition is not None:
+            reason = (
+                "inflight_boost" if point.freq_hz > self.point.freq_hz
+                else "inflight_save"
+            )
+            self.on_transition(now, self.accel_id, self.point, point, reason)
         self.point = point
         record = self.current
         record = IssueRecord(

@@ -32,8 +32,30 @@ from repro.nn.models import benchmark_models, complexity_sweep
 from repro.sim.backtest import Backtester, SimConfig
 from repro.sim.metrics import RunResult
 from repro.sim.workload import QueryWorkload, synthetic_workload
+from repro.telemetry import run_telemetry
 
 MODELS = ("vanilla_cnn", "translob", "deeplob")
+
+
+def traced_run(
+    workload: QueryWorkload,
+    profile,
+    config: SimConfig,
+    trace_dir,
+    run_name: str,
+) -> RunResult:
+    """One back-test, emitting a JSONL trace into ``trace_dir`` when set.
+
+    With ``trace_dir=None`` the :class:`Backtester` still honours the
+    ``REPRO_TRACE_DIR`` environment variable, so every figure
+    reproduction can produce a trace directory without threading a flag
+    through each call site.
+    """
+    telemetry = run_telemetry(run_name, trace_dir) if trace_dir else None
+    result = Backtester(workload, profile, config, telemetry=telemetry).run()
+    if telemetry is not None:
+        telemetry.close()
+    return result
 
 
 def bench_duration_s(default: float = 60.0) -> float:
@@ -189,7 +211,9 @@ class Fig8Result:
         )
 
 
-def run_fig8(duration_s: float | None = None, seed: int = 1) -> Fig8Result:
+def run_fig8(
+    duration_s: float | None = None, seed: int = 1, trace_dir=None
+) -> Fig8Result:
     """Run the M1..M5 sweep on a single accelerator."""
     workload = headline_workload(duration_s, seed)
     profile = lighttrader_profile()
@@ -202,9 +226,13 @@ def run_fig8(duration_s: float | None = None, seed: int = 1) -> Fig8Result:
         cost = cost_from_model(model)
         profile.register(cost)
         latencies[name] = cost.infer_ns(nominal) / 1_000.0
-        result = Backtester(
-            workload, profile, SimConfig(model=model.name, n_accelerators=1)
-        ).run()
+        result = traced_run(
+            workload,
+            profile,
+            SimConfig(model=model.name, n_accelerators=1),
+            trace_dir,
+            f"fig8-{name}",
+        )
         rates[name] = result.response_rate
     return Fig8Result(response_rates=rates, latencies_us=latencies)
 
@@ -312,7 +340,9 @@ class Fig11Result:
         )
 
 
-def run_fig11(duration_s: float | None = None, seed: int = 1) -> Fig11Result:
+def run_fig11(
+    duration_s: float | None = None, seed: int = 1, trace_dir=None
+) -> Fig11Result:
     """Single-accelerator, batch-1 comparison of the three systems."""
     workload = headline_workload(duration_s, seed)
     profiles = {
@@ -335,9 +365,13 @@ def run_fig11(duration_s: float | None = None, seed: int = 1) -> Fig11Result:
         for model in MODELS:
             point = nominal if isinstance(profile, LightTraderProfile) else None
             latency[name][model] = profile.t_total_ns(model, point, 1) / 1_000.0
-            result = Backtester(
-                workload, profile, SimConfig(model=model, n_accelerators=1)
-            ).run()
+            result = traced_run(
+                workload,
+                profile,
+                SimConfig(model=model, n_accelerators=1),
+                trace_dir,
+                f"fig11-{name}-{model}",
+            )
             response[name][model] = result.response_rate
             runs[name][model] = result
             ops = paperdata.TABLE2_TOTAL_OPS[model]
@@ -384,6 +418,7 @@ def run_fig12(
     seed: int = 1,
     models: tuple[str, ...] = MODELS,
     counts: tuple[int, ...] = paperdata.ACCELERATOR_COUNTS,
+    trace_dir=None,
 ) -> Fig12Result:
     """Sweep accelerator count under both power conditions."""
     workload = headline_workload(duration_s, seed)
@@ -394,13 +429,15 @@ def run_fig12(
         for model in models:
             series = {}
             for n in counts:
-                result = Backtester(
+                result = traced_run(
                     workload,
                     profile,
                     SimConfig(
                         model=model, n_accelerators=n, power_condition=condition
                     ),
-                ).run()
+                    trace_dir,
+                    f"fig12-{condition}-{model}-n{n}",
+                )
                 series[n] = result.response_rate
             rates[condition][model] = series
     return Fig12Result(rates=rates)
@@ -477,6 +514,7 @@ def run_fig13(
     counts: tuple[int, ...] = paperdata.ACCELERATOR_COUNTS,
     conditions: tuple[str, ...] = ("sufficient", "limited"),
     schemes: tuple[str, ...] = SCHEMES,
+    trace_dir=None,
 ) -> Fig13Result:
     """Sweep scheduling schemes across models, counts and power conditions."""
     workload = headline_workload(duration_s, seed)
@@ -490,7 +528,7 @@ def run_fig13(
                 cell = {}
                 for scheme in schemes:
                     ws, ds = _SCHEME_FLAGS[scheme]
-                    result = Backtester(
+                    result = traced_run(
                         workload,
                         profile,
                         SimConfig(
@@ -500,7 +538,9 @@ def run_fig13(
                             workload_scheduling=ws,
                             dvfs_scheduling=ds,
                         ),
-                    ).run()
+                        trace_dir,
+                        f"fig13-{condition}-{model}-n{n}-{scheme}",
+                    )
                     cell[scheme] = result.miss_rate
                 miss[condition][model][n] = cell
     return Fig13Result(miss=miss)

@@ -17,12 +17,16 @@ The DVFS scheduler manages the card's shared power budget in two phases:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.accelerator.device import DVFS_SWITCH_NS, Accelerator, AcceleratorCluster
 from repro.accelerator.power import DVFSTable, OperatingPoint
 from repro.baselines.profiles import LightTraderProfile
 from repro.core.ppw import ppw_increase
+
+if TYPE_CHECKING:
+    from repro.telemetry.decisions import DecisionLog
 
 # Fraction of a batch's remaining deadline slack the power-save step may
 # consume by slowing the clock; the rest stays as safety margin.
@@ -35,6 +39,8 @@ class DVFSScheduler:
 
     profile: LightTraderProfile
     table: DVFSTable
+    # Telemetry decision log; None keeps the hot path uninstrumented.
+    log: "DecisionLog | None" = field(default=None, compare=False)
 
     # -- phase 1: save power --------------------------------------------------
 
@@ -53,6 +59,8 @@ class DVFSScheduler:
         transitions = 0
         for device in cluster.busy_devices(now):
             transitions += self._scale_down_busy(device, now)
+        if transitions and self.log is not None:
+            self.log.record_save_power(now, transitions)
         return transitions
 
     def _scale_down_busy(self, device: Accelerator, now: int) -> int:
@@ -97,8 +105,11 @@ class DVFSScheduler:
         ):
             self._scale_down_busy(device, now)
             if cluster.headroom(now) >= needed_w:
-                return True
-        return cluster.headroom(now) >= needed_w
+                break
+        satisfied = cluster.headroom(now) >= needed_w
+        if self.log is not None:
+            self.log.record_reclaim(now, needed_w, cluster.headroom(now), satisfied)
+        return satisfied
 
     # -- phase 2: redistribute --------------------------------------------------
 
@@ -128,6 +139,10 @@ class DVFSScheduler:
                     best_gain = gain
                     best = (device, point, remaining, power)
             if best is None:
+                if transitions and self.log is not None:
+                    self.log.record_redistribute(
+                        now, transitions, cluster.headroom(now)
+                    )
                 return transitions
             device, point, remaining, __ = best
             device.rescale_inflight(now, point, remaining)

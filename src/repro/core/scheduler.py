@@ -10,12 +10,16 @@ removed from the offload engine (deferred to the conventional pipeline).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.accelerator.power import DVFSTable, OperatingPoint
 from repro.baselines.profiles import LightTraderProfile
 from repro.core.ppw import ppw
 from repro.errors import SchedulingError
+
+if TYPE_CHECKING:
+    from repro.telemetry.decisions import DecisionLog
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,9 @@ class WorkloadScheduler:
     # 'latency' (minimise t_total) or 'throughput' (maximise batch/t_total).
     # The alternatives exist for the ablation study.
     metric: str = "ppw"
+    # Telemetry decision log; when None every sweep runs the uninstrumented
+    # fast path (no per-candidate counting).
+    log: "DecisionLog | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -99,9 +106,26 @@ class WorkloadScheduler:
         for deadline in deadlines[: self.max_batch]:
             running = min(running, deadline)
             tightest.append(running)
-        best = self._sweep(model, now, tightest, power_budget_w, floor_freq_hz)
+        stats = (
+            {"considered": 0, "feasible": 0, "deadline": 0, "power": 0}
+            if self.log is not None
+            else None
+        )
+        best = self._sweep(model, now, tightest, power_budget_w, floor_freq_hz, stats)
+        floor_relaxed = False
         if best is None and floor_freq_hz > 0.0:
-            best = self._sweep(model, now, tightest, power_budget_w, 0.0)
+            floor_relaxed = True
+            best = self._sweep(model, now, tightest, power_budget_w, 0.0, stats)
+        if self.log is not None and stats is not None:
+            self.log.record_sweep(
+                now,
+                considered=stats["considered"],
+                feasible=stats["feasible"],
+                rejected_deadline=stats["deadline"],
+                rejected_power=stats["power"],
+                chosen=best,
+                floor_relaxed=floor_relaxed,
+            )
         return best
 
     def _sweep(
@@ -111,18 +135,27 @@ class WorkloadScheduler:
         tightest: "list[int]",
         power_budget_w: float,
         floor_freq_hz: float,
+        stats: "dict[str, int] | None" = None,
     ) -> ScheduleDecision | None:
         best: ScheduleDecision | None = None
         for point in self.table:
             if point.freq_hz < floor_freq_hz:
                 continue
             for batch_size in range(1, len(tightest) + 1):
+                if stats is not None:
+                    stats["considered"] += 1
                 t_total = self.profile.t_total_ns(model, point, batch_size)
                 if now + t_total > tightest[batch_size - 1]:
+                    if stats is not None:
+                        stats["deadline"] += 1
                     continue  # would miss a deadline inside the batch
                 power = self.profile.power_w(model, point, batch_size)
                 if power > power_budget_w:
+                    if stats is not None:
+                        stats["power"] += 1
                     continue
+                if stats is not None:
+                    stats["feasible"] += 1
                 score = self._score(batch_size, t_total, power)
                 if best is None or score > best.ppw:
                     best = ScheduleDecision(

@@ -54,9 +54,11 @@ class Query:
     arrival: int  # ns: when the tick reached the offload engine
     deadline: int  # ns: latest useful completion (t_avail boundary)
     tensor: np.ndarray | None = None  # (window, features) when materialised
+    enqueue_time: int | None = None  # ns: when it entered the offload queue
     issue_time: int | None = None
     completion_time: int | None = None
     dropped: bool = False
+    drop_reason: str | None = None  # 'overflow' | 'stale' | 'unschedulable' | ...
 
     @property
     def completed(self) -> bool:
@@ -128,6 +130,7 @@ class OffloadEngine:
             arrival=arrival,
             deadline=deadline,
             tensor=tensor,
+            enqueue_time=arrival,
         )
         self._next_id += 1
         if len(self._pending) >= self.max_pending:
@@ -135,6 +138,7 @@ class OffloadEngine:
             # of stale data, keeping the freshest market state).
             victim = self._pending.popleft()
             victim.dropped = True
+            victim.drop_reason = "overflow"
             self.dropped_overflow += 1
         self._pending.append(query)
         return query
@@ -173,6 +177,7 @@ class OffloadEngine:
             return None
         query = self._pending.popleft()
         query.dropped = True
+        query.drop_reason = "unschedulable"
         self.dropped_unschedulable += 1
         return query
 
@@ -183,6 +188,7 @@ class OffloadEngine:
         for query in self._pending:
             if query.deadline <= now:
                 query.dropped = True
+                query.drop_reason = "stale"
                 self.dropped_stale += 1
                 dropped.append(query)
             else:

@@ -32,6 +32,12 @@ from repro.pipeline.offload import OffloadEngine, Query
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, RunResult
 from repro.sim.workload import QueryWorkload
+from repro.telemetry import (
+    Telemetry,
+    completed_query_trace,
+    dropped_query_trace,
+    run_telemetry,
+)
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,7 @@ class _Pending:
 
     offload: OffloadEngine
     metrics: MetricsCollector
+    telemetry: Telemetry | None = None
     in_flight: dict[int, list[Query]] = field(default_factory=dict)
 
 
@@ -89,25 +96,46 @@ class Backtester:
         workload: QueryWorkload,
         profile: SystemProfile,
         config: SimConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.workload = workload
         self.profile = profile
         self.config = config or SimConfig()
+        self.telemetry = telemetry
         self._is_lighttrader = isinstance(profile, LightTraderProfile)
         self.last_metrics: MetricsCollector | None = None
 
     # -- public -------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute the back-test and return its metrics digest."""
+        """Execute the back-test and return its metrics digest.
+
+        Telemetry: an explicit ``telemetry=`` handed to the constructor
+        is used as-is (the caller closes it); otherwise, when
+        ``REPRO_TRACE_DIR`` is set, a per-run JSONL trace is written
+        there and closed automatically.  With neither, tracing is off
+        and every hook degrades to an ``is None`` check.
+        """
         config = self.config
-        metrics = MetricsCollector(
-            system=f"{self.profile.name}[{config.scheme}]",
-            model=config.model,
-        )
+        system = f"{self.profile.name}[{config.scheme}]"
+        metrics = MetricsCollector(system=system, model=config.model)
+        telemetry = self.telemetry
+        owns_telemetry = False
+        if telemetry is None:
+            telemetry = run_telemetry(f"{system}-{config.model}")
+            owns_telemetry = telemetry is not None
+        if telemetry is not None:
+            telemetry.record_run(
+                self.profile.name,
+                config.model,
+                config.scheme,
+                n_accelerators=config.n_accelerators,
+                power_condition=config.power_condition,
+            )
         state = _Pending(
             offload=OffloadEngine(window=1, max_pending=config.max_pending),
             metrics=metrics,
+            telemetry=telemetry,
         )
         queue = EventQueue()
         pre_ns = self.profile.stages.pre_inference_ns
@@ -121,8 +149,11 @@ class Backtester:
             self._run_fixed_system(queue, state)
 
         for query in state.offload.pop_batch(config.max_pending):
-            metrics.record_drop(query)
+            query.drop_reason = "end_of_run"
+            self._record_drop(state, query, query.enqueue_time or query.arrival)
         self.last_metrics = metrics
+        if owns_telemetry:
+            telemetry.close()
         return metrics.result()
 
     # -- LightTrader path ------------------------------------------------------------
@@ -142,6 +173,8 @@ class Backtester:
             config.budget_w / config.n_accelerators,
         ) or static_table.min_point
 
+        telemetry = state.telemetry
+        decision_log = telemetry.decisions if telemetry is not None else None
         cluster = AcceleratorCluster(
             n_accelerators=config.n_accelerators,
             table=dynamic_table,
@@ -150,14 +183,21 @@ class Backtester:
         )
         for device in cluster.devices:
             device.point = static_point  # boot-time configuration, no delay
+            if telemetry is not None:
+                device.on_transition = telemetry.record_transition
 
         ws = WorkloadScheduler(
             profile,
             dynamic_table,
             max_batch=config.max_batch,
             metric=config.scheduler_metric,
+            log=decision_log,
         )
-        ds = DVFSScheduler(profile, dynamic_table) if config.dvfs_scheduling else None
+        ds = (
+            DVFSScheduler(profile, dynamic_table, log=decision_log)
+            if config.dvfs_scheduling
+            else None
+        )
 
         static_power = profile.power_w(config.model, static_point, 1)
         min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
@@ -217,10 +257,18 @@ class Backtester:
                             # Only power stands in the way; keep the query
                             # queued until a busy accelerator releases
                             # budget (its completion re-triggers scheduling).
+                            if decision_log is not None:
+                                decision_log.record_fallback(
+                                    now, "defer_power", oldest.query_id
+                                )
                             break
                         victim = state.offload.drop_oldest()
                         if victim is not None:
-                            state.metrics.record_drop(victim)
+                            if decision_log is not None:
+                                decision_log.record_fallback(
+                                    now, "drop_unschedulable", victim.query_id
+                                )
+                            self._record_drop(state, victim, now)
                         continue
                     if decision.point != device.point:
                         ready = device.set_point(decision.point, now)
@@ -265,10 +313,26 @@ class Backtester:
                     state.metrics.record_completion(
                         query, query.completion_time, len(batch)
                     )
+                if telemetry is not None and batch:
+                    trans_ns = profile.t_trans_ns(len(batch))
+                    for query in batch:
+                        telemetry.record_query(
+                            completed_query_trace(
+                                query,
+                                profile.stages,
+                                inference_done_ns=now,
+                                t_trans_ns=trans_ns,
+                                batch_size=len(batch),
+                                accel_id=device.accel_id,
+                            )
+                        )
                 try_schedule(now)
             else:  # RETRY
                 try_schedule(now)
-            state.metrics.sample_power(now, cluster.total_power(now))
+            watts = cluster.total_power(now)
+            state.metrics.sample_power(now, watts)
+            if telemetry is not None:
+                telemetry.sample_power(now, watts)
 
     @staticmethod
     def _issue_budget(cluster, device, now) -> float:
@@ -284,10 +348,12 @@ class Backtester:
 
     def _run_fixed_system(self, queue: EventQueue, state: _Pending) -> None:
         config = self.config
+        telemetry = state.telemetry
         busy_until = [0] * config.n_accelerators
         in_flight: dict[int, Query] = {}
         post_ns = self.profile.stages.post_inference_ns
         t_total = self.profile.t_total_ns(config.model, None, 1)
+        trans_ns = self.profile.t_trans_ns(1)
 
         def try_schedule(now: int) -> None:
             self._drop_stale(state, now)
@@ -311,19 +377,32 @@ class Backtester:
                 query = in_flight.pop(payload)
                 query.completion_time = now + post_ns
                 state.metrics.record_completion(query, query.completion_time, 1)
+                if telemetry is not None:
+                    telemetry.record_query(
+                        completed_query_trace(
+                            query,
+                            self.profile.stages,
+                            inference_done_ns=now,
+                            t_trans_ns=trans_ns,
+                            batch_size=1,
+                            accel_id=payload,
+                        )
+                    )
             try_schedule(now)
             state.metrics.sample_power(now, self.profile.system_power_w)
+            if telemetry is not None:
+                telemetry.sample_power(now, self.profile.system_power_w)
 
     # -- shared helpers ---------------------------------------------------------------
 
     def _ingest(self, state: _Pending, index: int, now: int) -> None:
         """Turn workload row ``index`` into a pending query at ``now``."""
-        overflowed_before = state.offload.dropped_overflow
         query = Query(
             query_id=index,
             tick_index=index,
             arrival=int(self.workload.timestamps[index]),
             deadline=int(self.workload.deadlines[index]),
+            enqueue_time=now,
         )
         # Reuse the offload engine's queue/overflow machinery directly.
         engine = state.offload
@@ -332,13 +411,21 @@ class Backtester:
             engine.dropped_unschedulable -= 1
             engine.dropped_overflow += 1
             if victim is not None:
-                state.metrics.record_drop(victim)
+                victim.drop_reason = "overflow"
+                self._record_drop(state, victim, now)
         engine._pending.append(query)
-        del overflowed_before
 
     def _drop_stale(self, state: _Pending, now: int) -> None:
         for victim in state.offload.drop_stale(now):
-            state.metrics.record_drop(victim)
+            self._record_drop(state, victim, now)
+
+    def _record_drop(self, state: _Pending, query: Query, now: int) -> None:
+        """Score a drop and, when tracing, emit its truncated span trace."""
+        state.metrics.record_drop(query)
+        if state.telemetry is not None:
+            state.telemetry.record_query(
+                dropped_query_trace(query, self.profile.stages, drop_ns=now)
+            )
 
 
 def run_lighttrader(

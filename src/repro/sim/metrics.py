@@ -8,11 +8,17 @@ record" (paper §IV-A).  :class:`MetricsCollector` is that record keeper;
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.pipeline.offload import Query
+
+
+def _fmt_us(value: float) -> str:
+    """Microsecond figure for display; NaN (no in-time responses) → n/a."""
+    return "n/a" if math.isnan(value) else f"{value:.0f}µs"
 
 
 @dataclass(frozen=True)
@@ -25,7 +31,7 @@ class RunResult:
     responded: int  # completed within deadline
     completed_late: int
     dropped: int
-    mean_latency_us: float  # tick-to-trade of in-time responses
+    mean_latency_us: float  # tick-to-trade of in-time responses; NaN if none
     p50_latency_us: float
     p99_latency_us: float
     mean_batch_size: float
@@ -49,7 +55,7 @@ class RunResult:
         return (
             f"{self.system}/{self.model}: {self.response_rate:.1%} response "
             f"({self.responded}/{self.n_queries}), mean t2t "
-            f"{self.mean_latency_us:.0f}µs, p99 {self.p99_latency_us:.0f}µs, "
+            f"{_fmt_us(self.mean_latency_us)}, p99 {_fmt_us(self.p99_latency_us)}, "
             f"batch {self.mean_batch_size:.2f}, power {self.mean_power_w:.1f}W "
             f"(peak {self.peak_power_w:.1f}W)"
         )
@@ -96,10 +102,20 @@ class MetricsCollector:
             self.trace.append((query.query_id, False))
 
     def sample_power(self, now: int, watts: float) -> None:
-        """Integrate power over time (call at every state change)."""
+        """Integrate power over time (call at every state change).
+
+        The integral is a step function: the previous wattage is held
+        until ``now``.  Equal timestamps replace the reading (last write
+        at an instant wins); an out-of-order sample (``now`` before the
+        last one) still registers for the peak but never rewinds the
+        integral.
+        """
         if self._last_power_sample is not None:
             prev_time, prev_watts = self._last_power_sample
             dt = now - prev_time
+            if dt < 0:
+                self._peak_power_w = max(self._peak_power_w, watts)
+                return
             if dt > 0:
                 self._energy_j += prev_watts * dt / 1e9
                 self._power_time_ns += dt
@@ -107,8 +123,20 @@ class MetricsCollector:
         self._last_power_sample = (now, watts)
 
     def result(self) -> RunResult:
-        """Finalise into a :class:`RunResult`."""
-        lat = np.asarray(self._latencies_us) if self._latencies_us else np.zeros(1)
+        """Finalise into a :class:`RunResult`.
+
+        Latency statistics cover in-time responses only; when a run had
+        none they are NaN (``describe()`` prints ``n/a``) rather than a
+        fake 0 µs — an all-miss run must not masquerade as a 0-latency
+        run.
+        """
+        if self._latencies_us:
+            lat = np.asarray(self._latencies_us)
+            mean_us = float(lat.mean())
+            p50_us = float(np.percentile(lat, 50))
+            p99_us = float(np.percentile(lat, 99))
+        else:
+            mean_us = p50_us = p99_us = float("nan")
         scored = self.responded + self.completed_late + self.dropped
         duration_s = self._power_time_ns / 1e9
         return RunResult(
@@ -118,9 +146,9 @@ class MetricsCollector:
             responded=self.responded,
             completed_late=self.completed_late,
             dropped=self.dropped,
-            mean_latency_us=float(lat.mean()),
-            p50_latency_us=float(np.percentile(lat, 50)),
-            p99_latency_us=float(np.percentile(lat, 99)),
+            mean_latency_us=mean_us,
+            p50_latency_us=p50_us,
+            p99_latency_us=p99_us,
             mean_batch_size=(
                 float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
             ),

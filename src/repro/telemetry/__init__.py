@@ -1,0 +1,184 @@
+"""Telemetry subsystem: span tracing, decision logs, power timelines.
+
+The paper's simulation framework "tracks each input query to see if its
+tick-to-trade meets the available time" (§IV-A); this package is that
+tracking made first-class.  A :class:`Telemetry` object bundles
+
+- a :class:`~repro.telemetry.registry.Registry` of counters, gauges and
+  streaming histograms (per-stage latency distributions with no
+  per-sample storage),
+- per-query :class:`~repro.telemetry.spans.QueryTrace` span records of
+  the Fig. 4(b) pipeline stages,
+- a :class:`~repro.telemetry.decisions.DecisionLog` of Algorithm-1
+  sweeps, Algorithm-2 power moves, DVFS transitions and the power-rail
+  timeline, and
+- an optional streaming JSONL :class:`~repro.telemetry.writer.TraceWriter`.
+
+Tracing is opt-in per run: pass ``telemetry=`` to
+:class:`~repro.sim.backtest.Backtester`, or set ``REPRO_TRACE_DIR`` and
+every back-test (including the benchmark drivers) writes one JSONL file
+per run there.  ``python -m repro.telemetry.report <dir>`` renders the
+stage breakdown and miss-rate attribution.  With tracing off the
+simulator pays one ``is None`` check per event.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+from pathlib import Path
+
+from repro.telemetry.decisions import DecisionLog, decision_to_dict, point_to_dict
+from repro.telemetry.registry import NULL_REGISTRY, Counter, Gauge, Histogram, Registry
+from repro.telemetry.spans import (
+    ALL_STAGES,
+    FIXED_POST_STAGES,
+    FIXED_PRE_STAGES,
+    VARIABLE_STAGES,
+    QueryTrace,
+    Span,
+    attribute_miss,
+    completed_query_trace,
+    dropped_query_trace,
+)
+from repro.telemetry.writer import TraceWriter, iter_events, read_events
+
+__all__ = [
+    "ALL_STAGES",
+    "Counter",
+    "DecisionLog",
+    "FIXED_POST_STAGES",
+    "FIXED_PRE_STAGES",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "QueryTrace",
+    "Registry",
+    "Span",
+    "TRACE_DIR_ENV",
+    "Telemetry",
+    "TraceWriter",
+    "VARIABLE_STAGES",
+    "attribute_miss",
+    "completed_query_trace",
+    "configure_logging",
+    "decision_to_dict",
+    "dropped_query_trace",
+    "iter_events",
+    "point_to_dict",
+    "read_events",
+    "run_telemetry",
+]
+
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+def configure_logging(level: int | str = logging.INFO) -> logging.Logger:
+    """Configure a stderr handler for the ``repro`` logger tree and
+    return the root ``repro`` logger.
+
+    Examples and benchmarks call this instead of ``print`` so verbosity
+    is one switch: ``configure_logging(logging.DEBUG)`` surfaces
+    per-event telemetry chatter, the default stays at result lines.
+    Idempotent — repeat calls only adjust the level.
+    """
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger
+
+
+class Telemetry:
+    """One back-test run's worth of traces, logs and aggregates."""
+
+    def __init__(
+        self,
+        registry: Registry | None = None,
+        writer: TraceWriter | None = None,
+        keep_traces: bool = False,
+        keep_events: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.writer = writer
+        self.decisions = DecisionLog(self.registry, writer, keep_events=keep_events)
+        self.traces: list[QueryTrace] | None = [] if keep_traces else None
+        self._last_power: float | None = None
+
+    # -- run lifecycle ---------------------------------------------------------
+
+    def record_run(self, system: str, model: str, scheme: str, **extra) -> None:
+        """Emit the run-metadata header event."""
+        self.decisions.emit("run", system=system, model=model, scheme=scheme, **extra)
+
+    def close(self) -> None:
+        """Flush the aggregate snapshot and close the writer."""
+        if self.writer is not None:
+            self.writer.write({"type": "snapshot", **self.registry.snapshot()})
+            self.writer.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries --------------------------------------------------------------
+
+    def record_query(self, trace: QueryTrace) -> None:
+        """Fold one finished query trace into histograms + the JSONL stream."""
+        registry = self.registry
+        registry.counter(f"queries.{trace.outcome}").inc()
+        for span in trace.spans:
+            registry.histogram(f"stage.{span.name}").record(span.duration_ns)
+        if trace.outcome in ("in_time", "late"):
+            registry.histogram("tick_to_trade").record(trace.tick_to_trade_ns)
+        cause = attribute_miss(trace)
+        if cause is not None:
+            registry.counter(f"miss.{cause}").inc()
+        if self.traces is not None:
+            self.traces.append(trace)
+        if self.writer is not None:
+            self.writer.write(trace.to_event())
+
+    # -- power rail -----------------------------------------------------------
+
+    def sample_power(self, now: int, watts: float) -> None:
+        """Extend the power timeline (deduplicates unchanged readings)."""
+        if watts == self._last_power:
+            return
+        self._last_power = watts
+        self.decisions.record_power(now, watts)
+
+    # -- device hook ----------------------------------------------------------
+
+    def record_transition(self, now, accel_id, old_point, new_point, reason) -> None:
+        """Bindable as :attr:`Accelerator.on_transition`."""
+        self.decisions.record_transition(now, accel_id, old_point, new_point, reason)
+
+
+def _safe_filename(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._+-]+", "_", name).strip("_") or "run"
+
+
+def run_telemetry(
+    run_name: str, trace_dir: str | os.PathLike | None = None
+) -> Telemetry | None:
+    """Telemetry for one named back-test run, or None when tracing is off.
+
+    ``trace_dir`` wins; otherwise the ``REPRO_TRACE_DIR`` environment
+    variable enables tracing for every run in the process (this is how
+    the benchmark drivers and figure reproductions emit traces without
+    plumbing a flag through every call site).
+    """
+    directory = trace_dir if trace_dir is not None else os.environ.get(TRACE_DIR_ENV)
+    if not directory:
+        return None
+    path = Path(directory) / f"{_safe_filename(run_name)}.jsonl"
+    return Telemetry(writer=TraceWriter(path))

@@ -1,0 +1,229 @@
+"""Counters, gauges and streaming histograms behind a no-op switch.
+
+The registry is the allocation-free core of the telemetry subsystem: a
+disabled registry hands out shared null instruments, so instrumented hot
+paths cost one attribute load and one no-op call — no dict growth, no
+per-sample lists.  Histograms use HDR-style fixed geometric buckets, so
+recording a sample is a bisect into a preallocated array regardless of
+how many samples a run produces.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "Registry",
+    "default_edges",
+]
+
+
+def default_edges(
+    start: float = 50.0, ratio: float = 1.1, n_buckets: int = 200
+) -> tuple[float, ...]:
+    """Geometric bucket upper edges (ns): ~10% relative resolution from
+    50 ns out past 10 s, which brackets every latency this simulator can
+    produce."""
+    edges = []
+    edge = start
+    for _ in range(n_buckets):
+        edges.append(edge)
+        edge *= ratio
+    return tuple(edges)
+
+
+_DEFAULT_EDGES = default_edges()
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (plus the max ever written, for peak tracking)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = float("-inf")
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Streaming histogram over fixed geometric buckets.
+
+    ``record`` is O(log buckets) and allocation-free; quantiles are
+    recovered from the bucket populations with linear interpolation
+    inside the winning bucket (error bounded by the bucket ratio).
+    """
+
+    __slots__ = ("name", "edges", "counts", "overflow", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.edges = edges if edges is not None else _DEFAULT_EDGES
+        if len(self.edges) < 2 or any(
+            b <= a for a, b in zip(self.edges, self.edges[1:])
+        ):
+            raise ValueError(f"histogram {name!r}: edges must strictly increase")
+        self.counts = [0] * len(self.edges)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def record(self, value: float) -> None:
+        index = bisect_left(self.edges, value)
+        if index >= len(self.edges):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the buckets."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = self.edges[index - 1] if index > 0 else 0.0
+                upper = self.edges[index]
+                inside = (rank - cumulative) / n
+                value = lower + (upper - lower) * inside
+                # Never report outside the observed range.
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max  # overflow bucket
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "overflow": self.overflow,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+    max_value = 0.0
+    count = 0
+    total = 0.0
+    mean = float("nan")
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NULL = _NullInstrument()
+
+
+class Registry:
+    """Named instruments, get-or-create; a disabled registry is a no-op.
+
+    Disabled mode returns the single shared :class:`_NullInstrument` for
+    every name, so instrumenting a hot path costs nothing measurable and
+    allocates nothing after the first call.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, edges: tuple[float, ...] | None = None) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, edges)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All instrument values as one JSON-able dict."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "max": g.max_value}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+
+NULL_REGISTRY = Registry(enabled=False)

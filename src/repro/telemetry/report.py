@@ -1,0 +1,230 @@
+"""Trace reporting CLI: stage breakdowns and miss-rate attribution.
+
+Reads the JSONL traces a telemetry-enabled back-test wrote (one file per
+run) and renders, per run:
+
+- the per-stage tick-to-trade latency breakdown (count/mean/p50/p99 and
+  each stage's share of the mean tick-to-trade),
+- miss-rate attribution ("of N misses, X% lost in queue wait, Y% in
+  inference, …"),
+- the scheduler-decision and power/DVFS summaries.
+
+Usage::
+
+    python -m repro.telemetry.report TRACE.jsonl [...]
+    python -m repro.telemetry.report trace_dir/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.tables import render_table
+from repro.telemetry.spans import ALL_STAGES
+from repro.telemetry.writer import read_events
+
+__all__ = [
+    "attribution_table",
+    "main",
+    "render_report",
+    "stage_table",
+]
+
+
+def _fmt_us(ns: float) -> str:
+    return f"{ns / 1_000.0:.2f}"
+
+
+def stage_table(queries: list[dict], title: str) -> str:
+    """Per-stage latency breakdown of completed (in-time + late) queries."""
+    completed = [q for q in queries if q["outcome"] in ("in_time", "late")]
+    rows = []
+    t2t = np.asarray([q["t2t_ns"] for q in completed], dtype=float)
+    mean_t2t = t2t.mean() if len(t2t) else float("nan")
+    for stage in ALL_STAGES:
+        durations = np.asarray(
+            [q["stages"][stage] for q in completed if stage in q["stages"]],
+            dtype=float,
+        )
+        if len(durations) == 0:
+            continue
+        rows.append(
+            [
+                stage,
+                len(durations),
+                _fmt_us(durations.mean()),
+                _fmt_us(np.percentile(durations, 50)),
+                _fmt_us(np.percentile(durations, 99)),
+                f"{durations.mean() / mean_t2t:.1%}" if mean_t2t else "-",
+            ]
+        )
+    if len(t2t):
+        rows.append(
+            [
+                "tick_to_trade",
+                len(t2t),
+                _fmt_us(t2t.mean()),
+                _fmt_us(np.percentile(t2t, 50)),
+                _fmt_us(np.percentile(t2t, 99)),
+                "100.0%",
+            ]
+        )
+    return render_table(
+        title,
+        ["stage", "n", "mean (µs)", "p50 (µs)", "p99 (µs)", "share"],
+        rows,
+        note=None if rows else "no completed queries in trace",
+    )
+
+
+def attribution_table(queries: list[dict], title: str) -> str:
+    """Miss-rate attribution: which stage / drop reason lost each miss."""
+    scored = [q for q in queries if q["outcome"] != "unscored"]
+    misses = [q for q in scored if q["outcome"] in ("late", "dropped")]
+    causes: dict[str, int] = {}
+    for query in misses:
+        cause = query.get("miss_cause") or "unknown"
+        causes[cause] = causes.get(cause, 0) + 1
+    rows = [
+        [cause, count, f"{count / len(misses):.1%}"]
+        for cause, count in sorted(causes.items(), key=lambda kv: -kv[1])
+    ]
+    in_time = sum(1 for q in scored if q["outcome"] == "in_time")
+    note = (
+        f"{len(misses)} misses / {len(scored)} scored queries "
+        f"(miss rate {len(misses) / len(scored):.1%}, "
+        f"response rate {in_time / len(scored):.1%})"
+        if scored
+        else "no scored queries in trace"
+    )
+    return render_table(title, ["miss cause", "n", "share of misses"], rows, note=note)
+
+
+def _power_summary(events: list[dict]) -> str:
+    samples = [(e["t_ns"], e["watts"]) for e in events if e["type"] == "power"]
+    if len(samples) < 2:
+        return "power timeline: <2 samples"
+    t = np.asarray([s[0] for s in samples], dtype=float)
+    w = np.asarray([s[1] for s in samples], dtype=float)
+    dt = np.diff(t)
+    span = t[-1] - t[0]
+    mean_w = float((w[:-1] * dt).sum() / span) if span > 0 else float(w.mean())
+    transitions = [e for e in events if e["type"] == "dvfs_transition"]
+    reasons: dict[str, int] = {}
+    for event in transitions:
+        reasons[event["reason"]] = reasons.get(event["reason"], 0) + 1
+    reason_text = (
+        " (" + ", ".join(f"{k}={v}" for k, v in sorted(reasons.items())) + ")"
+        if reasons
+        else ""
+    )
+    return (
+        f"power timeline: {len(samples)} state changes over {span / 1e9:.2f} s, "
+        f"mean {mean_w:.2f} W, peak {w.max():.2f} W; "
+        f"{len(transitions)} DVFS transitions{reason_text}"
+    )
+
+
+def _scheduler_summary(events: list[dict]) -> str | None:
+    sweeps = [e for e in events if e["type"] == "sweep"]
+    if not sweeps:
+        return None
+    considered = sum(s["considered"] for s in sweeps)
+    infeasible = sum(1 for s in sweeps if s["chosen"] is None)
+    rejected_deadline = sum(s["rejected_deadline"] for s in sweeps)
+    rejected_power = sum(s["rejected_power"] for s in sweeps)
+    batches = [s["chosen"]["batch_size"] for s in sweeps if s["chosen"]]
+    fallbacks = [e for e in events if e["type"] == "fallback"]
+    reclaims = [e for e in events if e["type"] == "reclaim"]
+    redistributes = [e for e in events if e["type"] == "redistribute"]
+    line = (
+        f"algorithm 1: {len(sweeps)} sweeps, {considered} candidates considered, "
+        f"{infeasible} infeasible ({rejected_deadline} deadline / "
+        f"{rejected_power} power rejections)"
+    )
+    if batches:
+        line += f"; mean committed batch {np.mean(batches):.2f}"
+    lines = [line]
+    if fallbacks:
+        reasons: dict[str, int] = {}
+        for event in fallbacks:
+            reasons[event["reason"]] = reasons.get(event["reason"], 0) + 1
+        lines.append(
+            "fallbacks: " + ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))
+        )
+    if reclaims or redistributes:
+        moved = sum(e["transitions"] for e in redistributes)
+        lines.append(
+            f"algorithm 2: {len(reclaims)} reclaims, "
+            f"{len(redistributes)} redistribution rounds "
+            f"({moved} boost transitions)"
+        )
+    return "\n".join(lines)
+
+
+def render_report(path: str | Path) -> str:
+    """The full text report for one JSONL trace file."""
+    events = read_events(path)
+    meta = next((e for e in events if e["type"] == "run"), {})
+    queries = [e for e in events if e["type"] == "query"]
+    label = "/".join(
+        str(meta[k]) for k in ("system", "model", "scheme") if k in meta
+    ) or Path(path).stem
+    parts = [
+        f"=== {label} ({Path(path).name}: {len(queries)} queries) ===",
+        stage_table(queries, f"Tick-to-trade breakdown — {label}"),
+        attribution_table(queries, f"Miss attribution — {label}"),
+        _power_summary(events),
+    ]
+    scheduler = _scheduler_summary(events)
+    if scheduler:
+        parts.append(scheduler)
+    return "\n".join(parts)
+
+
+def _expand(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.glob("*.jsonl")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such trace file or directory: {raw}")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report", description=__doc__
+    )
+    parser.add_argument("paths", nargs="+", help="JSONL trace files or directories")
+    args = parser.parse_args(argv)
+    try:
+        files = _expand(args.paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if not files:
+        print("no .jsonl traces found", file=sys.stderr)
+        return 1
+    status = 0
+    for index, path in enumerate(files):
+        if index:
+            print()
+        try:
+            print(render_report(path))
+        except json.JSONDecodeError as exc:
+            print(f"corrupt trace {path}: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

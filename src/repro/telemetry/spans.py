@@ -1,0 +1,213 @@
+"""Per-query span tracing: the Fig. 4(b) tick-to-trade breakdown.
+
+Each traced query carries a list of contiguous, timestamped
+:class:`Span`s covering the pipeline stages it crossed:
+
+    ingest → parse → book_update → offload_enqueue   (fixed FPGA stages)
+    → queue_wait                                     (offload queue)
+    → inference → c2c_transfer                       (DNN pipeline)
+    → order_generation → order_encode                (fixed FPGA stages)
+
+A dropped query's trace ends inside ``queue_wait``; a completed query's
+trace spans the full path.  :func:`attribute_miss` names the stage (or
+drop reason) a missed deadline should be charged to, which the report
+CLI aggregates into miss-rate attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.latency import StageLatencies
+
+__all__ = [
+    "ALL_STAGES",
+    "FIXED_POST_STAGES",
+    "FIXED_PRE_STAGES",
+    "QueryTrace",
+    "Span",
+    "VARIABLE_STAGES",
+    "attribute_miss",
+    "completed_query_trace",
+    "dropped_query_trace",
+]
+
+# Stage names in pipeline order (Fig. 4(b)).
+FIXED_PRE_STAGES = ("ingest", "parse", "book_update", "offload_enqueue")
+VARIABLE_STAGES = ("queue_wait", "inference", "c2c_transfer")
+FIXED_POST_STAGES = ("order_generation", "order_encode")
+ALL_STAGES = FIXED_PRE_STAGES + VARIABLE_STAGES + FIXED_POST_STAGES
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timestamped pipeline stage crossing."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class QueryTrace:
+    """The full span record of one query's trip through the system."""
+
+    query_id: int
+    tick_index: int
+    arrival_ns: int
+    deadline_ns: int
+    outcome: str  # 'in_time' | 'late' | 'dropped' | 'unscored'
+    spans: list[Span] = field(default_factory=list)
+    drop_reason: str | None = None
+    batch_size: int | None = None
+    accel_id: int | None = None
+
+    def add(self, name: str, start_ns: int, end_ns: int) -> None:
+        """Append a span; spans must be contiguous and non-negative."""
+        if end_ns < start_ns:
+            raise ValueError(f"span {name!r} ends before it starts")
+        if self.spans and start_ns != self.spans[-1].end_ns:
+            raise ValueError(
+                f"span {name!r} at {start_ns} not contiguous with "
+                f"{self.spans[-1].name!r} ending {self.spans[-1].end_ns}"
+            )
+        self.spans.append(Span(name, start_ns, end_ns))
+
+    @property
+    def end_ns(self) -> int:
+        """When the trace ends (order on wire, or drop time)."""
+        return self.spans[-1].end_ns if self.spans else self.arrival_ns
+
+    @property
+    def tick_to_trade_ns(self) -> int:
+        """Wire arrival to last traced instant."""
+        return self.end_ns - self.arrival_ns
+
+    def breakdown(self) -> dict[str, int]:
+        """Stage name → duration (ns)."""
+        return {span.name: span.duration_ns for span in self.spans}
+
+    def to_event(self) -> dict:
+        """JSONL event payload."""
+        event: dict = {
+            "type": "query",
+            "query_id": self.query_id,
+            "tick_index": self.tick_index,
+            "arrival_ns": self.arrival_ns,
+            "deadline_ns": self.deadline_ns,
+            "outcome": self.outcome,
+            "t2t_ns": self.tick_to_trade_ns,
+            "stages": self.breakdown(),
+            "miss_cause": attribute_miss(self),
+        }
+        if self.drop_reason is not None:
+            event["drop_reason"] = self.drop_reason
+        if self.batch_size is not None:
+            event["batch_size"] = self.batch_size
+        if self.accel_id is not None:
+            event["accel_id"] = self.accel_id
+        return event
+
+
+def _add_fixed(trace: QueryTrace, names: tuple[str, ...], start: int,
+               durations: list[int]) -> int:
+    for name, duration in zip(names, durations):
+        trace.add(name, start, start + duration)
+        start += duration
+    return start
+
+
+def _pre_durations(stages: StageLatencies) -> list[int]:
+    return [
+        stages.ethernet_udp_ns,
+        stages.packet_parse_ns,
+        stages.book_update_ns,
+        stages.offload_ns,
+    ]
+
+
+def completed_query_trace(
+    query,
+    stages: StageLatencies,
+    inference_done_ns: int,
+    t_trans_ns: int,
+    batch_size: int,
+    accel_id: int | None = None,
+) -> QueryTrace:
+    """Trace for a query whose inference completed.
+
+    ``inference_done_ns`` is the DNN-pipeline completion instant (after
+    the C2C round trip); the fixed post-inference stages follow it.  The
+    transfer time does not scale with DVFS, so the inference span is the
+    residual between batch issue and ``inference_done_ns - t_trans_ns``.
+    """
+    if query.issue_time is None:
+        raise ValueError(f"query {query.query_id} completed without an issue time")
+    enqueue = query.enqueue_time
+    if enqueue is None:
+        enqueue = query.arrival + stages.pre_inference_ns
+    order_time = inference_done_ns + stages.post_inference_ns
+    outcome = "unscored" if query.deadline < 0 else (
+        "in_time" if order_time <= query.deadline else "late"
+    )
+    trace = QueryTrace(
+        query_id=query.query_id,
+        tick_index=query.tick_index,
+        arrival_ns=query.arrival,
+        deadline_ns=query.deadline,
+        outcome=outcome,
+        batch_size=batch_size,
+        accel_id=accel_id,
+    )
+    cursor = _add_fixed(trace, FIXED_PRE_STAGES, query.arrival, _pre_durations(stages))
+    trace.add("queue_wait", cursor, query.issue_time)
+    infer_end = max(inference_done_ns - t_trans_ns, query.issue_time)
+    trace.add("inference", query.issue_time, infer_end)
+    trace.add("c2c_transfer", infer_end, inference_done_ns)
+    _add_fixed(
+        trace,
+        FIXED_POST_STAGES,
+        inference_done_ns,
+        [stages.order_generation_ns, stages.order_encode_ns],
+    )
+    return trace
+
+
+def dropped_query_trace(
+    query, stages: StageLatencies, drop_ns: int
+) -> QueryTrace:
+    """Trace for a query dropped before inference (stale/overflow/
+    unschedulable): the pre-inference stages plus the queue wait it
+    accumulated until the drop."""
+    trace = QueryTrace(
+        query_id=query.query_id,
+        tick_index=query.tick_index,
+        arrival_ns=query.arrival,
+        deadline_ns=query.deadline,
+        outcome="unscored" if query.deadline < 0 else "dropped",
+        drop_reason=query.drop_reason or "unknown",
+    )
+    cursor = _add_fixed(trace, FIXED_PRE_STAGES, query.arrival, _pre_durations(stages))
+    trace.add("queue_wait", cursor, max(drop_ns, cursor))
+    return trace
+
+
+def attribute_miss(trace: QueryTrace) -> str | None:
+    """Which stage (or drop reason) a missed deadline is charged to.
+
+    Late completions are attributed to the longest of the variable
+    stages (the fixed FPGA stages are ~1 µs and never decide a miss);
+    drops are attributed to their drop reason.  Returns None for
+    in-time and unscored queries.
+    """
+    if trace.outcome == "dropped":
+        return f"dropped:{trace.drop_reason or 'unknown'}"
+    if trace.outcome != "late":
+        return None
+    durations = trace.breakdown()
+    variable = {name: durations.get(name, 0) for name in VARIABLE_STAGES}
+    return max(variable, key=variable.get)  # type: ignore[arg-type]

@@ -1,0 +1,75 @@
+"""Streaming JSONL trace output and the matching reader.
+
+One back-test run writes one ``.jsonl`` file: a leading ``run`` event
+with the system/model/scheme metadata, then ``query``, ``power``,
+``sweep``, ``dvfs_transition`` … events in simulation order.  Events are
+flat JSON objects so the files grep well and load without this package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["TraceWriter", "iter_events", "read_events"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other strays into JSON-native types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    return str(value)
+
+
+class TraceWriter:
+    """Append telemetry events to a JSONL file (or any text stream)."""
+
+    def __init__(self, path: str | os.PathLike | None = None, stream: IO[str] | None = None) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("TraceWriter needs exactly one of path or stream")
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: IO[str] = open(self.path, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            assert stream is not None
+            self._stream = stream
+            self._owns_stream = False
+        self.events_written = 0
+
+    def write(self, event: dict) -> None:
+        """Serialise one event onto its own line."""
+        self._stream.write(
+            json.dumps(event, separators=(",", ":"), default=_jsonable) + "\n"
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_events(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield events from one JSONL trace file."""
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """All events of one JSONL trace file as a list."""
+    return list(iter_events(path))

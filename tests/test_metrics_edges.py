@@ -1,0 +1,100 @@
+"""Edge cases for MetricsCollector: empty runs, power-sample ordering,
+and the step-function energy integral."""
+
+import math
+
+import pytest
+
+from repro.pipeline.offload import Query
+from repro.sim.metrics import MetricsCollector
+
+
+def make_query(qid=0, arrival=0, deadline=1_000_000):
+    return Query(query_id=qid, tick_index=qid, arrival=arrival, deadline=deadline)
+
+
+class TestEmptyRuns:
+    def test_zero_scored_queries(self):
+        result = MetricsCollector("sys", "model").result()
+        assert result.n_queries == 0
+        assert result.response_rate == 0.0
+        assert math.isnan(result.mean_latency_us)
+        assert math.isnan(result.p50_latency_us)
+        assert math.isnan(result.p99_latency_us)
+        assert "n/a" in result.describe()
+
+    def test_all_miss_run_reports_nan_not_zero(self):
+        # Every query completes late: latency stats must be NaN, not a
+        # fake 0 µs that would read as an impossibly fast run.
+        metrics = MetricsCollector("sys", "model")
+        for qid in range(3):
+            metrics.record_completion(
+                make_query(qid, arrival=0, deadline=100), order_time=500, batch_size=1
+            )
+        result = metrics.result()
+        assert result.n_queries == 3
+        assert result.responded == 0
+        assert result.completed_late == 3
+        assert math.isnan(result.mean_latency_us)
+        assert "n/a" in result.describe()
+        assert result.miss_rate == 1.0
+
+    def test_all_dropped_run(self):
+        metrics = MetricsCollector("sys", "model")
+        for qid in range(4):
+            metrics.record_drop(make_query(qid))
+        result = metrics.result()
+        assert result.dropped == 4
+        assert math.isnan(result.mean_latency_us)
+
+    def test_unscored_queries_do_not_count(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.record_drop(make_query(deadline=-1))
+        metrics.record_completion(
+            make_query(deadline=-1), order_time=10, batch_size=1
+        )
+        result = metrics.result()
+        assert result.n_queries == 0
+        assert metrics.unscored == 2
+
+
+class TestPowerSampling:
+    def test_step_integral_matches_hand_computation(self):
+        # Step function: 5 W held for 2 s, then 7 W for 1 s.
+        metrics = MetricsCollector("sys", "model")
+        metrics.sample_power(0, 5.0)
+        metrics.sample_power(2_000_000_000, 7.0)
+        metrics.sample_power(3_000_000_000, 0.0)
+        result = metrics.result()
+        assert result.energy_j == pytest.approx(5.0 * 2 + 7.0 * 1)
+        assert result.duration_s == pytest.approx(3.0)
+        assert result.mean_power_w == pytest.approx(17.0 / 3.0)
+        assert result.peak_power_w == 7.0
+
+    def test_out_of_order_sample_never_rewinds_integral(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.sample_power(0, 10.0)
+        metrics.sample_power(1_000_000_000, 20.0)
+        # A stale timestamp: registers for the peak, does not perturb the
+        # integral or become the held sample.
+        metrics.sample_power(500_000_000, 50.0)
+        metrics.sample_power(2_000_000_000, 0.0)
+        result = metrics.result()
+        assert result.energy_j == pytest.approx(10.0 * 1 + 20.0 * 1)
+        assert result.duration_s == pytest.approx(2.0)
+        assert result.peak_power_w == 50.0
+
+    def test_equal_timestamps_last_write_wins(self):
+        metrics = MetricsCollector("sys", "model")
+        metrics.sample_power(0, 10.0)
+        metrics.sample_power(0, 30.0)  # replaces the reading at t=0
+        metrics.sample_power(1_000_000_000, 0.0)
+        result = metrics.result()
+        assert result.energy_j == pytest.approx(30.0)
+        assert result.peak_power_w == 30.0
+
+    def test_no_samples_is_a_zero_power_run(self):
+        result = MetricsCollector("sys", "model").result()
+        assert result.energy_j == 0.0
+        assert result.mean_power_w == 0.0
+        assert result.duration_s == 0.0

@@ -1,0 +1,316 @@
+"""Tests for the telemetry subsystem: registry, spans, JSONL, report."""
+
+import pytest
+
+from repro.baselines import lighttrader_profile
+from repro.pipeline.latency import DEFAULT_STAGES
+from repro.pipeline.offload import Query
+from repro.sim import Backtester, SimConfig, synthetic_workload
+from repro.telemetry import (
+    ALL_STAGES,
+    FIXED_PRE_STAGES,
+    NULL_REGISTRY,
+    Registry,
+    Telemetry,
+    TraceWriter,
+    attribute_miss,
+    completed_query_trace,
+    dropped_query_trace,
+    read_events,
+)
+from repro.telemetry.registry import Histogram
+from repro.telemetry.report import main as report_main, render_report
+
+
+class TestHistogram:
+    def test_bucket_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(10.0, 10.0, 20.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(10.0,))
+
+    def test_values_land_in_the_right_buckets(self):
+        h = Histogram("h", edges=(10.0, 100.0, 1000.0))
+        h.record(5.0)  # <= 10 → bucket 0
+        h.record(10.0)  # boundary is inclusive on the low bucket
+        h.record(50.0)  # bucket 1
+        h.record(2000.0)  # beyond the last edge → overflow
+        assert h.counts == [2, 1, 0]
+        assert h.overflow == 1
+        assert h.count == 4
+        assert h.mean == pytest.approx((5 + 10 + 50 + 2000) / 4)
+
+    def test_percentiles_from_buckets(self):
+        h = Histogram("h", edges=(10.0, 100.0, 1000.0))
+        for __ in range(50):
+            h.record(5.0)
+        for __ in range(50):
+            h.record(500.0)
+        assert 5.0 <= h.percentile(50) <= 10.0
+        assert 100.0 < h.percentile(99) <= 500.0
+        # Quantiles never leave the observed range.
+        assert h.percentile(0) >= 5.0
+        assert h.percentile(100) <= 500.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h", edges=(1.0, 2.0))
+        assert h.count == 0
+        assert h.percentile(50) != h.percentile(50)  # NaN
+        assert h.to_dict()["count"] == 0
+
+    def test_streaming_no_per_sample_growth(self):
+        h = Histogram("h")
+        buckets = len(h.counts)
+        for value in range(10_000):
+            h.record(float(value))
+        assert len(h.counts) == buckets  # fixed storage regardless of volume
+        assert h.count == 10_000
+
+
+class TestRegistryNoOp:
+    def test_disabled_registry_returns_shared_null_instruments(self):
+        # Zero allocations on the hot path: every name maps to the one
+        # shared null instrument, nothing is created or stored.
+        a = NULL_REGISTRY.counter("a")
+        b = NULL_REGISTRY.counter("b")
+        h = NULL_REGISTRY.histogram("h")
+        g = NULL_REGISTRY.gauge("g")
+        assert a is b
+        assert a is h and a is g
+        a.inc()
+        h.record(123.0)
+        g.set(5.0)
+        snap = NULL_REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_enabled_registry_accumulates(self):
+        registry = Registry()
+        registry.counter("x").inc(3)
+        registry.gauge("g").set(7.5)
+        registry.histogram("h").record(100.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["x"] == 3
+        assert snap["gauges"]["g"]["value"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_get_or_create_is_stable(self):
+        registry = Registry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+def make_query(arrival=0, deadline=1_000_000, enqueue=None, issue=None, qid=7):
+    q = Query(query_id=qid, tick_index=qid, arrival=arrival, deadline=deadline)
+    q.enqueue_time = enqueue if enqueue is not None else arrival + DEFAULT_STAGES.pre_inference_ns
+    q.issue_time = issue
+    return q
+
+
+class TestSpans:
+    def test_in_time_query_spans_cover_every_stage_in_order(self):
+        q = make_query(arrival=0, deadline=1_000_000, issue=10_000)
+        trace = completed_query_trace(
+            q, DEFAULT_STAGES, inference_done_ns=300_000, t_trans_ns=1_370,
+            batch_size=2, accel_id=1,
+        )
+        assert trace.outcome == "in_time"
+        assert [s.name for s in trace.spans] == list(ALL_STAGES)
+        # Contiguous: each span starts where the previous ended.
+        for prev, cur in zip(trace.spans, trace.spans[1:]):
+            assert cur.start_ns == prev.end_ns
+        assert trace.tick_to_trade_ns == 300_000 + DEFAULT_STAGES.post_inference_ns
+        breakdown = trace.breakdown()
+        assert breakdown["queue_wait"] == 10_000 - DEFAULT_STAGES.pre_inference_ns
+        assert breakdown["c2c_transfer"] == 1_370
+        assert breakdown["inference"] == 300_000 - 1_370 - 10_000
+        assert attribute_miss(trace) is None
+
+    def test_late_query_attributed_to_longest_variable_stage(self):
+        q = make_query(arrival=0, deadline=100_000, issue=10_000)
+        trace = completed_query_trace(
+            q, DEFAULT_STAGES, inference_done_ns=300_000, t_trans_ns=1_370,
+            batch_size=1,
+        )
+        assert trace.outcome == "late"
+        assert attribute_miss(trace) == "inference"
+
+    def test_late_query_lost_in_queue(self):
+        # Issue so late that the queue wait dominates the miss.
+        q = make_query(arrival=0, deadline=100_000, issue=400_000)
+        trace = completed_query_trace(
+            q, DEFAULT_STAGES, inference_done_ns=500_000, t_trans_ns=1_370,
+            batch_size=1,
+        )
+        assert trace.outcome == "late"
+        assert attribute_miss(trace) == "queue_wait"
+
+    def test_dropped_query_trace_ends_in_queue_wait(self):
+        q = make_query(arrival=0, deadline=40_000)
+        q.drop_reason = "stale"
+        trace = dropped_query_trace(q, DEFAULT_STAGES, drop_ns=50_000)
+        assert trace.outcome == "dropped"
+        assert [s.name for s in trace.spans] == list(FIXED_PRE_STAGES) + ["queue_wait"]
+        assert trace.spans[-1].end_ns == 50_000
+        assert attribute_miss(trace) == "dropped:stale"
+
+    def test_unscored_queries_are_not_misses(self):
+        q = make_query(deadline=-1, issue=10_000)
+        trace = completed_query_trace(
+            q, DEFAULT_STAGES, inference_done_ns=300_000, t_trans_ns=1_000,
+            batch_size=1,
+        )
+        assert trace.outcome == "unscored"
+        assert attribute_miss(trace) is None
+
+    def test_non_contiguous_span_rejected(self):
+        q = make_query(issue=10_000)
+        trace = completed_query_trace(
+            q, DEFAULT_STAGES, inference_done_ns=300_000, t_trans_ns=1_000,
+            batch_size=1,
+        )
+        with pytest.raises(ValueError):
+            trace.add("extra", trace.end_ns + 5, trace.end_ns + 10)
+        with pytest.raises(ValueError):
+            trace.add("backwards", trace.end_ns, trace.end_ns - 1)
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_write_and_read(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(writer=TraceWriter(path)) as tel:
+            tel.record_run("lighttrader", "deeplob", "ws+ds", n_accelerators=2)
+            q = make_query(arrival=0, deadline=1_000_000, issue=10_000)
+            tel.record_query(
+                completed_query_trace(
+                    q, DEFAULT_STAGES, inference_done_ns=300_000,
+                    t_trans_ns=1_370, batch_size=2, accel_id=0,
+                )
+            )
+            tel.sample_power(0, 1.5)
+            tel.sample_power(100, 1.5)  # unchanged → deduplicated
+            tel.sample_power(200, 9.0)
+            tel.decisions.record_sweep(
+                200, considered=40, feasible=0, rejected_deadline=39,
+                rejected_power=1, chosen=None,
+            )
+        events = read_events(path)
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run"
+        assert kinds[-1] == "snapshot"
+        assert kinds.count("power") == 2
+        query = next(e for e in events if e["type"] == "query")
+        assert query["outcome"] == "in_time"
+        assert query["stages"]["c2c_transfer"] == 1_370
+        assert query["t2t_ns"] == 300_000 + DEFAULT_STAGES.post_inference_ns
+        sweep = next(e for e in events if e["type"] == "sweep")
+        assert sweep["considered"] == 40
+        assert sweep["chosen"] is None
+        snapshot = events[-1]
+        assert snapshot["counters"]["queries.in_time"] == 1
+        assert snapshot["counters"]["scheduler.sweeps"] == 1
+
+    def test_keep_traces_retains_objects(self):
+        tel = Telemetry(keep_traces=True)
+        q = make_query(issue=10_000)
+        tel.record_query(
+            completed_query_trace(
+                q, DEFAULT_STAGES, inference_done_ns=300_000,
+                t_trans_ns=1_000, batch_size=1,
+            )
+        )
+        assert len(tel.traces) == 1
+        assert tel.registry.histogram("tick_to_trade").count == 1
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return synthetic_workload(duration_s=5.0, seed=11)
+
+
+class TestBacktestIntegration:
+    @pytest.mark.parametrize("scheme_flags", [(False, False), (True, True)])
+    def test_trace_report_for_baseline_and_ws_ds(
+        self, tmp_path, small_workload, scheme_flags
+    ):
+        ws, ds = scheme_flags
+        scheme = "ws+ds" if ws else "baseline"
+        path = tmp_path / f"{scheme}.jsonl"
+        config = SimConfig(
+            model="deeplob",
+            n_accelerators=2,
+            power_condition="limited",
+            workload_scheduling=ws,
+            dvfs_scheduling=ds,
+        )
+        with Telemetry(writer=TraceWriter(path)) as tel:
+            result = Backtester(
+                small_workload, lighttrader_profile(), config, telemetry=tel
+            ).run()
+        events = read_events(path)
+        queries = [e for e in events if e["type"] == "query"]
+        # Every scored outcome in the metrics digest appears in the trace.
+        outcomes = {o: sum(1 for q in queries if q["outcome"] == o)
+                    for o in ("in_time", "late", "dropped")}
+        assert outcomes["in_time"] == result.responded
+        assert outcomes["late"] == result.completed_late
+        assert outcomes["dropped"] == result.dropped
+        report = render_report(path)
+        assert "Tick-to-trade breakdown" in report
+        assert "Miss attribution" in report
+        assert "power timeline" in report
+        if ws:
+            assert "algorithm 1" in report
+
+    def test_ws_ds_trace_logs_scheduler_decisions(self, tmp_path, small_workload):
+        path = tmp_path / "wsds.jsonl"
+        config = SimConfig(
+            model="deeplob",
+            n_accelerators=2,
+            power_condition="limited",
+            workload_scheduling=True,
+            dvfs_scheduling=True,
+        )
+        with Telemetry(writer=TraceWriter(path)) as tel:
+            Backtester(
+                small_workload, lighttrader_profile(), config, telemetry=tel
+            ).run()
+        events = read_events(path)
+        assert any(e["type"] == "sweep" for e in events)
+        sweeps = [e for e in events if e["type"] == "sweep"]
+        assert all(
+            e["considered"] >= e["feasible"] + e["rejected_deadline"] + e["rejected_power"]
+            for e in sweeps
+        )
+        assert any(e["type"] == "dvfs_transition" for e in events)
+
+    def test_env_var_enables_tracing(self, tmp_path, small_workload, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        Backtester(
+            small_workload, lighttrader_profile(), SimConfig(model="vanilla_cnn")
+        ).run()
+        files = list(tmp_path.glob("*.jsonl"))
+        assert len(files) == 1
+        assert report_main([str(tmp_path)]) == 0
+
+    def test_disabled_telemetry_writes_nothing(
+        self, tmp_path, small_workload, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        result = Backtester(
+            small_workload, lighttrader_profile(), SimConfig(model="vanilla_cnn")
+        ).run()
+        assert result.n_queries > 0
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_identical_results_with_and_without_telemetry(self, small_workload):
+        config = SimConfig(
+            model="deeplob", n_accelerators=2,
+            workload_scheduling=True, dvfs_scheduling=True,
+        )
+        plain = Backtester(small_workload, lighttrader_profile(), config).run()
+        traced = Backtester(
+            small_workload, lighttrader_profile(), config, telemetry=Telemetry()
+        ).run()
+        assert plain.responded == traced.responded
+        assert plain.dropped == traced.dropped
+        assert plain.energy_j == traced.energy_j
