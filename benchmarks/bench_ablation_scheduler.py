@@ -10,8 +10,14 @@
 import pytest
 
 from repro.baselines import lighttrader_profile
-from repro.bench import bench_duration_s, render_table
-from repro.sim import Backtester, SimConfig, synthetic_workload
+from repro.bench import (
+    RunSpec,
+    WorkloadSpec,
+    bench_duration_s,
+    render_table,
+    run_many,
+)
+from repro.sim import Backtester, SimConfig, cached_synthetic_workload
 from repro.sim.workload import (
     FixedDeadline,
     HorizonDeadline,
@@ -28,23 +34,35 @@ def profile():
 
 @pytest.fixture(scope="module")
 def workload():
-    return synthetic_workload(duration_s=min(bench_duration_s(), 60.0), seed=3)
+    return cached_synthetic_workload(
+        duration_s=min(bench_duration_s(), 60.0), seed=3, name="ablation"
+    )
 
 
 class TestMetricAblation:
     @pytest.fixture(scope="class")
-    def results(self, workload, profile):
-        out = {}
-        for metric in ("ppw", "latency", "throughput"):
-            config = SimConfig(
-                model="deeplob",
-                n_accelerators=2,
-                power_condition="limited",
-                workload_scheduling=True,
-                scheduler_metric=metric,
+    def results(self, workload):
+        # Independent runs fan out through the experiment runner
+        # (REPRO_BENCH_JOBS>1 parallelises them).
+        metrics = ("ppw", "latency", "throughput")
+        specs = [
+            RunSpec(
+                profile="lighttrader",
+                config=SimConfig(
+                    model="deeplob",
+                    n_accelerators=2,
+                    power_condition="limited",
+                    workload_scheduling=True,
+                    scheduler_metric=metric,
+                ),
+                workload=WorkloadSpec(
+                    duration_s=min(bench_duration_s(), 60.0), seed=3, name="ablation"
+                ),
+                run_name=f"ablation-metric-{metric}",
             )
-            out[metric] = Backtester(workload, profile, config).run()
-        return out
+            for metric in metrics
+        ]
+        return dict(zip(metrics, run_many(specs)))
 
     def test_bench_metric_ablation(self, benchmark, record_table, results, workload, profile):
         def once():
@@ -85,8 +103,11 @@ class TestDeadlineAblation:
         def run_all():
             rows.clear()
             for name, policy in policies.items():
-                wl = synthetic_workload(
-                    duration_s=min(bench_duration_s(), 30.0), policy=policy, seed=3
+                wl = cached_synthetic_workload(
+                    duration_s=min(bench_duration_s(), 30.0),
+                    policy=policy,
+                    seed=3,
+                    name=f"ablation-{name}",
                 )
                 base = Backtester(wl, profile, SimConfig(model="deeplob")).run()
                 sched = Backtester(
@@ -133,8 +154,11 @@ class TestBurstinessAblation:
                     ),
                     episode_weights=(0.486, 0.192, 0.324),
                 )
-                wl = synthetic_workload(
-                    duration_s=min(bench_duration_s(), 30.0), spec=spec, seed=3
+                wl = cached_synthetic_workload(
+                    duration_s=min(bench_duration_s(), 30.0),
+                    spec=spec,
+                    seed=3,
+                    name=f"ablation-burst-x{dwell_scale}",
                 )
                 base = Backtester(wl, profile, SimConfig(model="deeplob")).run()
                 sched = Backtester(

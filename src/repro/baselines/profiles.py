@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro import paperdata
 from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
@@ -35,6 +36,12 @@ FPGA_RATIO = {"vanilla_cnn": 5.0, "translob": 7.0, "deeplob": 9.84}
 # launch overhead superbly; the FPGA pipeline is already near-saturated.
 GPU_BATCH_UTILISATION = 0.06
 FPGA_BATCH_UTILISATION = 0.85
+
+
+@lru_cache(maxsize=1)
+def nominal_point() -> OperatingPoint:
+    """The 2.0 GHz nominal operating point used by Fig. 8/11 anchoring."""
+    return DVFSTable(cap_hz=2.0e9).max_point
 
 
 class SystemProfile(abc.ABC):
@@ -85,6 +92,9 @@ class LightTraderProfile(SystemProfile):
     system_power_w: float = paperdata.SYSTEM_POWER_W["lighttrader"]
     name: str = "lighttrader"
     supports_dvfs: bool = True
+    # (model, table points, max_batch) -> SweepGrid; decision tables the
+    # vectorized Algorithm-1 sweep evaluates instead of the scalar oracle.
+    _sweep_grids: dict = field(default_factory=dict, repr=False, compare=False)
 
     def cost(self, model: str) -> ModelCost:
         """The cost profile for ``model`` (must be registered)."""
@@ -98,6 +108,25 @@ class LightTraderProfile(SystemProfile):
     def register(self, cost: ModelCost) -> None:
         """Add a model cost (e.g. from :func:`cost_from_model`)."""
         self.costs[cost.name] = cost
+        # Re-registering a name invalidates any grids built from the old cost.
+        for key in [k for k in self._sweep_grids if k[0] == cost.name]:
+            del self._sweep_grids[key]
+
+    def sweep_grid(self, model: str, table: DVFSTable, max_batch: int):
+        """Cached :class:`~repro.core.sweepgrid.SweepGrid` for ``model``.
+
+        Grids are built once per (model, DVFS table, max batch) from the
+        same scalar ``t_total_ns``/``power_w`` calls the reference sweep
+        makes, so the cached values are bit-identical to on-the-fly ones.
+        """
+        from repro.core.sweepgrid import SweepGrid
+
+        key = (model, table.points, max_batch)
+        grid = self._sweep_grids.get(key)
+        if grid is None:
+            grid = SweepGrid.build(self, model, table, max_batch)
+            self._sweep_grids[key] = grid
+        return grid
 
     def t_infer_ns(self, model, point, batch_size):
         if point is None:
@@ -114,8 +143,7 @@ class LightTraderProfile(SystemProfile):
         return self.power_model.power_w(point, self.cost(model).activity, batch_size)
 
     def effective_tflops_per_watt(self, model, ops):
-        nominal = DVFSTable(cap_hz=2.0e9).max_point
-        latency_s = self.t_total_ns(model, nominal, 1) / 1e9
+        latency_s = self.t_total_ns(model, nominal_point(), 1) / 1e9
         return ops / latency_s / self.system_power_w / 1e12
 
 

@@ -27,11 +27,13 @@ from repro.baselines.profiles import (
     gpu_profile,
     lighttrader_profile,
 )
+from repro.bench.runner import RunSpec, WorkloadSpec, run_many
 from repro.bench.tables import render_table
 from repro.nn.models import benchmark_models, complexity_sweep
 from repro.sim.backtest import Backtester, SimConfig
 from repro.sim.metrics import RunResult
-from repro.sim.workload import QueryWorkload, synthetic_workload
+from repro.sim.workload import QueryWorkload
+from repro.sim.workload_cache import cached_synthetic_workload
 from repro.telemetry import run_telemetry
 
 MODELS = ("vanilla_cnn", "translob", "deeplob")
@@ -64,8 +66,20 @@ def bench_duration_s(default: float = 60.0) -> float:
 
 
 def headline_workload(duration_s: float | None = None, seed: int = 1) -> QueryWorkload:
-    """The calibrated traffic used by every headline experiment."""
-    return synthetic_workload(
+    """The calibrated traffic used by every headline experiment.
+
+    Served through the workload cache: one generation per process per
+    (duration, seed), plus on-disk reuse when ``REPRO_WORKLOAD_CACHE``
+    is set.
+    """
+    return cached_synthetic_workload(
+        duration_s=duration_s or bench_duration_s(), seed=seed, name="headline"
+    )
+
+
+def _headline_spec(duration_s: float | None, seed: int) -> WorkloadSpec:
+    """The :class:`WorkloadSpec` matching :func:`headline_workload`."""
+    return WorkloadSpec(
         duration_s=duration_s or bench_duration_s(), seed=seed, name="headline"
     )
 
@@ -212,28 +226,32 @@ class Fig8Result:
 
 
 def run_fig8(
-    duration_s: float | None = None, seed: int = 1, trace_dir=None
+    duration_s: float | None = None, seed: int = 1, trace_dir=None, jobs: int | None = None
 ) -> Fig8Result:
     """Run the M1..M5 sweep on a single accelerator."""
-    workload = headline_workload(duration_s, seed)
-    profile = lighttrader_profile()
-    rates = {}
-    latencies = {}
-    from repro.accelerator.power import DVFSTable
+    from repro.baselines.profiles import nominal_point
 
-    nominal = DVFSTable(cap_hz=2.0e9).max_point
+    workload_spec = _headline_spec(duration_s, seed)
+    nominal = nominal_point()
+    latencies = {}
+    specs = []
     for name, model in complexity_sweep().items():
         cost = cost_from_model(model)
-        profile.register(cost)
         latencies[name] = cost.infer_ns(nominal) / 1_000.0
-        result = traced_run(
-            workload,
-            profile,
-            SimConfig(model=model.name, n_accelerators=1),
-            trace_dir,
-            f"fig8-{name}",
+        specs.append(
+            RunSpec(
+                profile="lighttrader",
+                config=SimConfig(model=model.name, n_accelerators=1),
+                workload=workload_spec,
+                run_name=f"fig8-{name}",
+                trace_dir=trace_dir,
+                extra_costs=(cost,),
+            )
         )
-        rates[name] = result.response_rate
+    results = run_many(specs, jobs=jobs)
+    rates = {
+        name: result.response_rate for name, result in zip(latencies, results)
+    }
     return Fig8Result(response_rates=rates, latencies_us=latencies)
 
 
@@ -341,22 +359,24 @@ class Fig11Result:
 
 
 def run_fig11(
-    duration_s: float | None = None, seed: int = 1, trace_dir=None
+    duration_s: float | None = None, seed: int = 1, trace_dir=None, jobs: int | None = None
 ) -> Fig11Result:
     """Single-accelerator, batch-1 comparison of the three systems."""
-    workload = headline_workload(duration_s, seed)
+    from repro.baselines.profiles import nominal_point
+
+    workload_spec = _headline_spec(duration_s, seed)
     profiles = {
         "lighttrader": lighttrader_profile(),
         "gpu": gpu_profile(),
         "fpga": fpga_profile(),
     }
-    from repro.accelerator.power import DVFSTable
-
-    nominal = DVFSTable(cap_hz=2.0e9).max_point
+    nominal = nominal_point()
     latency: dict[str, dict[str, float]] = {}
     response: dict[str, dict[str, float]] = {}
     efficiency: dict[str, dict[str, float]] = {}
     runs: dict[str, dict[str, RunResult]] = {}
+    specs = []
+    grid = []
     for name, profile in profiles.items():
         latency[name] = {}
         response[name] = {}
@@ -365,17 +385,21 @@ def run_fig11(
         for model in MODELS:
             point = nominal if isinstance(profile, LightTraderProfile) else None
             latency[name][model] = profile.t_total_ns(model, point, 1) / 1_000.0
-            result = traced_run(
-                workload,
-                profile,
-                SimConfig(model=model, n_accelerators=1),
-                trace_dir,
-                f"fig11-{name}-{model}",
-            )
-            response[name][model] = result.response_rate
-            runs[name][model] = result
             ops = paperdata.TABLE2_TOTAL_OPS[model]
             efficiency[name][model] = profile.effective_tflops_per_watt(model, ops)
+            grid.append((name, model))
+            specs.append(
+                RunSpec(
+                    profile=name,
+                    config=SimConfig(model=model, n_accelerators=1),
+                    workload=workload_spec,
+                    run_name=f"fig11-{name}-{model}",
+                    trace_dir=trace_dir,
+                )
+            )
+    for (name, model), result in zip(grid, run_many(specs, jobs=jobs)):
+        response[name][model] = result.response_rate
+        runs[name][model] = result
     return Fig11Result(
         latency_us=latency, response_rate=response, efficiency=efficiency, runs=runs
     )
@@ -419,27 +443,30 @@ def run_fig12(
     models: tuple[str, ...] = MODELS,
     counts: tuple[int, ...] = paperdata.ACCELERATOR_COUNTS,
     trace_dir=None,
+    jobs: int | None = None,
 ) -> Fig12Result:
     """Sweep accelerator count under both power conditions."""
-    workload = headline_workload(duration_s, seed)
-    profile = lighttrader_profile()
-    rates: dict[str, dict[str, dict[int, float]]] = {}
+    workload_spec = _headline_spec(duration_s, seed)
+    specs = []
+    grid = []
     for condition in ("sufficient", "limited"):
-        rates[condition] = {}
         for model in models:
-            series = {}
             for n in counts:
-                result = traced_run(
-                    workload,
-                    profile,
-                    SimConfig(
-                        model=model, n_accelerators=n, power_condition=condition
-                    ),
-                    trace_dir,
-                    f"fig12-{condition}-{model}-n{n}",
+                grid.append((condition, model, n))
+                specs.append(
+                    RunSpec(
+                        profile="lighttrader",
+                        config=SimConfig(
+                            model=model, n_accelerators=n, power_condition=condition
+                        ),
+                        workload=workload_spec,
+                        run_name=f"fig12-{condition}-{model}-n{n}",
+                        trace_dir=trace_dir,
+                    )
                 )
-                series[n] = result.response_rate
-            rates[condition][model] = series
+    rates: dict[str, dict[str, dict[int, float]]] = {}
+    for (condition, model, n), result in zip(grid, run_many(specs, jobs=jobs)):
+        rates.setdefault(condition, {}).setdefault(model, {})[n] = result.response_rate
     return Fig12Result(rates=rates)
 
 
@@ -515,32 +542,38 @@ def run_fig13(
     conditions: tuple[str, ...] = ("sufficient", "limited"),
     schemes: tuple[str, ...] = SCHEMES,
     trace_dir=None,
+    jobs: int | None = None,
 ) -> Fig13Result:
     """Sweep scheduling schemes across models, counts and power conditions."""
-    workload = headline_workload(duration_s, seed)
-    profile = lighttrader_profile()
-    miss: dict[str, dict[str, dict[int, dict[str, float]]]] = {}
+    workload_spec = _headline_spec(duration_s, seed)
+    specs = []
+    grid = []
     for condition in conditions:
-        miss[condition] = {}
         for model in models:
-            miss[condition][model] = {}
             for n in counts:
-                cell = {}
                 for scheme in schemes:
                     ws, ds = _SCHEME_FLAGS[scheme]
-                    result = traced_run(
-                        workload,
-                        profile,
-                        SimConfig(
-                            model=model,
-                            n_accelerators=n,
-                            power_condition=condition,
-                            workload_scheduling=ws,
-                            dvfs_scheduling=ds,
-                        ),
-                        trace_dir,
-                        f"fig13-{condition}-{model}-n{n}-{scheme}",
+                    grid.append((condition, model, n, scheme))
+                    specs.append(
+                        RunSpec(
+                            profile="lighttrader",
+                            config=SimConfig(
+                                model=model,
+                                n_accelerators=n,
+                                power_condition=condition,
+                                workload_scheduling=ws,
+                                dvfs_scheduling=ds,
+                            ),
+                            workload=workload_spec,
+                            run_name=f"fig13-{condition}-{model}-n{n}-{scheme}",
+                            trace_dir=trace_dir,
+                        )
                     )
-                    cell[scheme] = result.miss_rate
-                miss[condition][model][n] = cell
+    miss: dict[str, dict[str, dict[int, dict[str, float]]]] = {}
+    for (condition, model, n, scheme), result in zip(
+        grid, run_many(specs, jobs=jobs)
+    ):
+        miss.setdefault(condition, {}).setdefault(model, {}).setdefault(n, {})[
+            scheme
+        ] = result.miss_rate
     return Fig13Result(miss=miss)

@@ -1,0 +1,156 @@
+"""Parallel experiment runner: fan independent back-tests across processes.
+
+The figure reproductions are grids of mutually independent back-tests —
+per model, per system, per accelerator count, per scheduling scheme.
+:func:`run_many` executes such a grid either inline (``jobs=1``, the
+deterministic default) or across a process pool, with
+
+- **deterministic ordering**: results come back in spec order whatever
+  the completion order (``ProcessPoolExecutor.map`` semantics);
+- **seed isolation**: a :class:`RunSpec` carries the full workload
+  parameterisation, and every run is a pure function of its spec — the
+  same spec produces the byte-identical :class:`RunResult` at any job
+  count;
+- **per-run trace routing**: each spec names its run, so JSONL traces
+  from parallel workers land in distinct files of the shared trace dir.
+
+Workers rebuild workloads through the workload cache (one generation per
+process at most; zero with ``REPRO_WORKLOAD_CACHE``) and reuse one
+profile per process so sweep grids amortise across the grid's runs.
+
+``--jobs`` surfaces in the drivers; ``REPRO_BENCH_JOBS`` sets the
+process-wide default (1 = serial).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.baselines.modelcosts import ModelCost
+from repro.baselines.profiles import (
+    LightTraderProfile,
+    SystemProfile,
+    fpga_profile,
+    gpu_profile,
+    lighttrader_profile,
+)
+from repro.errors import SimulationError
+from repro.sim.backtest import Backtester, SimConfig
+from repro.sim.metrics import RunResult
+from repro.sim.workload_cache import cached_synthetic_workload
+from repro.telemetry import run_telemetry
+
+__all__ = [
+    "BENCH_JOBS_ENV",
+    "RunSpec",
+    "WorkloadSpec",
+    "default_jobs",
+    "execute_run",
+    "profile_for",
+    "run_many",
+]
+
+BENCH_JOBS_ENV = "REPRO_BENCH_JOBS"
+
+_PROFILE_FACTORIES = {
+    "lighttrader": lighttrader_profile,
+    "gpu": gpu_profile,
+    "fpga": fpga_profile,
+}
+
+# One profile per (process, name): sweep grids and anchor calibration are
+# then shared by every run the worker executes.
+_profiles: dict[str, SystemProfile] = {}
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_BENCH_JOBS`` or 1 (serial)."""
+    value = os.environ.get(BENCH_JOBS_ENV)
+    if not value:
+        return 1
+    try:
+        return max(1, int(value))
+    except ValueError:
+        raise SimulationError(f"{BENCH_JOBS_ENV} must be an integer, got {value!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one cached synthetic workload (default traffic)."""
+
+    duration_s: float
+    seed: int = 1
+    name: str = "headline"
+
+    def build(self):
+        return cached_synthetic_workload(
+            duration_s=self.duration_s, seed=self.seed, name=self.name
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent back-test: profile + config + workload + routing."""
+
+    profile: str  # 'lighttrader' | 'gpu' | 'fpga'
+    config: SimConfig
+    workload: WorkloadSpec
+    run_name: str
+    trace_dir: str | None = None
+    # Extra model costs to register on the (LightTrader) profile before
+    # running — how the Fig. 8 zoo models travel to worker processes.
+    extra_costs: tuple[ModelCost, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.profile not in _PROFILE_FACTORIES:
+            raise SimulationError(
+                f"unknown profile {self.profile!r}; known: {sorted(_PROFILE_FACTORIES)}"
+            )
+
+
+def profile_for(name: str) -> SystemProfile:
+    """The process-shared profile instance for ``name``."""
+    profile = _profiles.get(name)
+    if profile is None:
+        profile = _profiles[name] = _PROFILE_FACTORIES[name]()
+    return profile
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Run one spec (the process-pool work item)."""
+    profile = profile_for(spec.profile)
+    if spec.extra_costs:
+        if not isinstance(profile, LightTraderProfile):
+            raise SimulationError("extra model costs require the LightTrader profile")
+        for cost in spec.extra_costs:
+            if profile.costs.get(cost.name) != cost:
+                profile.register(cost)
+    workload = spec.workload.build()
+    telemetry = run_telemetry(spec.run_name, spec.trace_dir) if spec.trace_dir else None
+    result = Backtester(workload, profile, spec.config, telemetry=telemetry).run()
+    if telemetry is not None:
+        telemetry.close()
+    return result
+
+
+def run_many(specs: "list[RunSpec]", jobs: int | None = None) -> "list[RunResult]":
+    """Execute ``specs``, returning results in spec order.
+
+    ``jobs=None`` reads ``REPRO_BENCH_JOBS``; 1 runs inline with no pool
+    (bit-for-bit the serial path).  Each worker is warm across its share
+    of the grid — profiles, sweep grids and cached workloads persist for
+    the pool's lifetime.
+    """
+    specs = list(specs)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if jobs == 1 or len(specs) <= 1:
+        return [execute_run(spec) for spec in specs]
+    # Build each distinct workload once in the parent before forking:
+    # children then inherit the populated cache copy-on-write instead of
+    # regenerating per worker (a no-op on spawn platforms).
+    for workload_spec in dict.fromkeys(spec.workload for spec in specs):
+        workload_spec.build()
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(execute_run, specs))

@@ -6,20 +6,44 @@ Whenever the scheduler can issue a new batch, it sweeps every
 both the available time and the power budget, and commits the candidate
 with the highest PPW.  If no pair is feasible the oldest input tensor is
 removed from the offload engine (deferred to the conventional pipeline).
+
+Two sweep implementations coexist:
+
+- the **vectorized** sweep (default) evaluates feasibility masks and the
+  metric argmax against a precomputed
+  :class:`~repro.core.sweepgrid.SweepGrid`, and
+- the **reference** loop, the line-for-line Algorithm 1 transcription,
+  kept as the golden model (``REPRO_SWEEP_REFERENCE=1`` or
+  ``vectorized=False`` selects it).
+
+Both are decision-for-decision identical — same candidate, same
+tie-breaking, same decision-log counts — which the sweep-parity tests
+enforce over randomized profiles, deadlines and budgets.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.accelerator.power import DVFSTable, OperatingPoint
 from repro.baselines.profiles import LightTraderProfile
 from repro.core.ppw import ppw
+from repro.core.sweepgrid import SweepGrid
 from repro.errors import SchedulingError
 
 if TYPE_CHECKING:
     from repro.telemetry.decisions import DecisionLog
+
+# Set to "1" to force the reference (golden-model) Algorithm-1 loop.
+SWEEP_REFERENCE_ENV = "REPRO_SWEEP_REFERENCE"
+
+
+def _vectorized_default() -> bool:
+    return os.environ.get(SWEEP_REFERENCE_ENV, "").lower() not in ("1", "true", "yes")
 
 
 @dataclass(frozen=True)
@@ -53,6 +77,13 @@ class WorkloadScheduler:
     # Telemetry decision log; when None every sweep runs the uninstrumented
     # fast path (no per-candidate counting).
     log: "DecisionLog | None" = field(default=None, compare=False)
+    # False selects the reference Algorithm-1 loop (golden model);
+    # REPRO_SWEEP_REFERENCE=1 flips the default process-wide.
+    vectorized: bool = field(default_factory=_vectorized_default)
+    # Per-model SweepGrid cache (vectorized path only).
+    _grids: dict = field(default_factory=dict, compare=False, repr=False)
+    # Per-model fastest batch-1 t_total_ns, for deadline_feasible().
+    _fastest_ns: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -137,6 +168,101 @@ class WorkloadScheduler:
         floor_freq_hz: float,
         stats: "dict[str, int] | None" = None,
     ) -> ScheduleDecision | None:
+        tables = self._tables(model, floor_freq_hz)
+        if tables is None:
+            return self._sweep_reference(
+                model, now, tightest, power_budget_w, floor_freq_hz, stats
+            )
+        return self._sweep_vectorized(tables, now, tightest, power_budget_w, stats)
+
+    def _tables(
+        self, model: str, floor_freq_hz: float
+    ) -> "tuple[tuple[OperatingPoint, ...], np.ndarray, np.ndarray, np.ndarray] | None":
+        """Floor-filtered (points, t_total, power, score) tables, or None
+        when this scheduler is on the reference path.
+
+        Scores are sweep-invariant (pure functions of the grid), so they
+        are materialised here once per (model, floor) rather than per
+        issue; the per-sweep work reduces to two feasibility masks and a
+        masked argmax.
+        """
+        if not self.vectorized:
+            return None
+        key = (model, floor_freq_hz)
+        tables = self._grids.get(key)
+        if tables is None:
+            builder = getattr(self.profile, "sweep_grid", None)
+            if builder is None:  # profile without precomputed tables
+                return None
+            grid: SweepGrid = builder(model, self.table, self.max_batch)
+            if floor_freq_hz > 0.0:
+                rows = np.flatnonzero(grid.freq_hz >= floor_freq_hz)
+                points = tuple(grid.points[i] for i in rows)
+                t_total = grid.t_total_ns[rows]
+                power = grid.power_w[rows]
+            else:
+                points = grid.points
+                t_total = grid.t_total_ns
+                power = grid.power_w
+            # Scores reproduce the scalar _score() float operations exactly
+            # (same operands, same IEEE op order), just elementwise.
+            batches = np.arange(1, self.max_batch + 1, dtype=np.float64)
+            if self.metric == "ppw":
+                score = batches / ((t_total / 1e9) * power)
+            elif self.metric == "latency":
+                score = -t_total.astype(np.float64)
+            else:  # throughput
+                score = batches / (t_total / 1e9)
+            tables = (points, t_total, power, score)
+            self._grids[key] = tables
+        return tables
+
+    def _sweep_vectorized(
+        self,
+        tables: "tuple[tuple[OperatingPoint, ...], np.ndarray, np.ndarray, np.ndarray]",
+        now: int,
+        tightest: "list[int]",
+        power_budget_w: float,
+        stats: "dict[str, int] | None",
+    ) -> ScheduleDecision | None:
+        points, t_grid, p_grid, score_grid = tables
+        n_batches = len(tightest)
+        t_total = t_grid[:, :n_batches]
+        power = p_grid[:, :n_batches]
+        deadline_ok = (now + t_total) <= np.asarray(tightest, dtype=np.int64)
+        power_ok = power <= power_budget_w
+        feasible = deadline_ok & power_ok
+        if stats is not None:
+            stats["considered"] += t_total.size
+            stats["deadline"] += int((~deadline_ok).sum())
+            # The reference loop checks power only after the deadline passes.
+            stats["power"] += int((deadline_ok & ~power_ok).sum())
+            stats["feasible"] += int(feasible.sum())
+        if not feasible.any():
+            return None
+        # argmax returns the first occurrence of the maximum — exactly the
+        # reference loop's strict-improvement tie-break over (slowest
+        # point first, smallest batch first).
+        score = score_grid[:, :n_batches]
+        flat = int(np.argmax(np.where(feasible, score, -np.inf)))
+        row, col = divmod(flat, n_batches)
+        return ScheduleDecision(
+            point=points[row],
+            batch_size=col + 1,
+            t_total_ns=int(t_total[row, col]),
+            power_w=float(power[row, col]),
+            ppw=float(score[row, col]),
+        )
+
+    def _sweep_reference(
+        self,
+        model: str,
+        now: int,
+        tightest: "list[int]",
+        power_budget_w: float,
+        floor_freq_hz: float,
+        stats: "dict[str, int] | None" = None,
+    ) -> ScheduleDecision | None:
         best: ScheduleDecision | None = None
         for point in self.table:
             if point.freq_hz < floor_freq_hz:
@@ -176,8 +302,11 @@ class WorkloadScheduler:
         transient power shortage (keep it queued; an accelerator frees
         both capacity and power shortly).
         """
-        fastest = self.table.max_point
-        return now + self.profile.t_total_ns(model, fastest, 1) <= deadline
+        fastest_ns = self._fastest_ns.get(model)
+        if fastest_ns is None:
+            fastest_ns = self.profile.t_total_ns(model, self.table.max_point, 1)
+            self._fastest_ns[model] = fastest_ns
+        return now + fastest_ns <= deadline
 
     def static_decision(
         self,

@@ -90,6 +90,10 @@ class OffloadEngine:
         self.store_tensors = store_tensors
         self._fifo: deque[np.ndarray] = deque(maxlen=window)
         self._pending: deque[Query] = deque()
+        # Lower bound on min(q.deadline for q in _pending); lets drop_stale
+        # skip its scan while now < bound (removals only raise the true
+        # minimum, so the bound stays conservative without bookkeeping).
+        self._min_deadline_bound = 0
         self._next_id = 0
         self.dropped_overflow = 0
         self.dropped_stale = 0
@@ -140,8 +144,18 @@ class OffloadEngine:
             victim.dropped = True
             victim.drop_reason = "overflow"
             self.dropped_overflow += 1
-        self._pending.append(query)
+        self.admit(query)
         return query
+
+    def admit(self, query: Query) -> None:
+        """Append a fully-constructed query to the pending queue.
+
+        The only sanctioned append path: it maintains the stale-scan
+        deadline bound alongside the queue itself.
+        """
+        if not self._pending or query.deadline < self._min_deadline_bound:
+            self._min_deadline_bound = query.deadline
+        self._pending.append(query)
 
     # -- queue management ----------------------------------------------------------
 
@@ -183,8 +197,11 @@ class OffloadEngine:
 
     def drop_stale(self, now: int) -> list[Query]:
         """Drop every pending query whose deadline has already passed."""
+        if not self._pending or now < self._min_deadline_bound:
+            return []  # every deadline is >= bound > now: nothing stale
         dropped = []
         kept: deque[Query] = deque()
+        kept_min = None
         for query in self._pending:
             if query.deadline <= now:
                 query.dropped = True
@@ -192,8 +209,11 @@ class OffloadEngine:
                 self.dropped_stale += 1
                 dropped.append(query)
             else:
+                if kept_min is None or query.deadline < kept_min:
+                    kept_min = query.deadline
                 kept.append(query)
         self._pending = kept
+        self._min_deadline_bound = kept_min if kept_min is not None else 0
         return dropped
 
     @property

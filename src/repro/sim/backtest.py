@@ -413,7 +413,7 @@ class Backtester:
             if victim is not None:
                 victim.drop_reason = "overflow"
                 self._record_drop(state, victim, now)
-        engine._pending.append(query)
+        engine.admit(query)
 
     def _drop_stale(self, state: _Pending, now: int) -> None:
         for victim in state.offload.drop_stale(now):

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SimulationError
@@ -27,20 +26,16 @@ class EventKind(enum.IntEnum):
     ARRIVAL = 2
 
 
-@dataclass(order=True)
-class _Entry:
-    time: int
-    kind_priority: int
-    seq: int
-    kind: EventKind = field(compare=False)
-    payload: Any = field(compare=False)
-
-
 class EventQueue:
-    """Min-heap of timestamped events with deterministic tie-breaking."""
+    """Min-heap of timestamped events with deterministic tie-breaking.
+
+    Entries are plain tuples ``(time, kind_priority, seq, kind, payload)``
+    so heap sifting compares in C; ``seq`` is unique, so comparison never
+    reaches the (possibly incomparable) kind/payload slots.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[_Entry] = []
+        self._heap: list[tuple[int, int, int, EventKind, Any]] = []
         self._seq = 0
         self._now = 0
 
@@ -59,16 +54,16 @@ class EventQueue:
                 f"cannot schedule {kind.name} at {time} before now ({self._now})"
             )
         self._seq += 1
-        heapq.heappush(self._heap, _Entry(time, int(kind), self._seq, kind, payload))
+        heapq.heappush(self._heap, (time, int(kind), self._seq, kind, payload))
 
     def pop(self) -> tuple[int, EventKind, Any]:
         """Remove and return the next (time, kind, payload)."""
         if not self._heap:
             raise SimulationError("pop from empty event queue")
-        entry = heapq.heappop(self._heap)
-        self._now = entry.time
-        return entry.time, entry.kind, entry.payload
+        time, _, _, kind, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, kind, payload
 
     def peek_time(self) -> int | None:
         """Timestamp of the next event, or None when empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,84 @@
+"""Parallel experiment runner: determinism, ordering, job control."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import (
+    BENCH_JOBS_ENV,
+    RunSpec,
+    WorkloadSpec,
+    default_jobs,
+    run_many,
+)
+from repro.errors import SimulationError
+from repro.sim.backtest import SimConfig
+
+DURATION = 2.0
+
+
+def _grid():
+    workload = WorkloadSpec(duration_s=DURATION, seed=3, name="runner-test")
+    specs = []
+    for model in ("deeplob", "vanilla_cnn"):
+        for ws in (False, True):
+            specs.append(
+                RunSpec(
+                    profile="lighttrader",
+                    config=SimConfig(
+                        model=model, n_accelerators=2, workload_scheduling=ws
+                    ),
+                    workload=workload,
+                    run_name=f"{model}-ws{int(ws)}",
+                )
+            )
+    return specs
+
+
+def test_serial_and_parallel_results_identical():
+    specs = _grid()
+    serial = run_many(specs, jobs=1)
+    parallel = run_many(specs, jobs=2)
+    assert len(serial) == len(parallel) == len(specs)
+    for left, right in zip(serial, parallel):
+        # Results come back in spec order with byte-identical metrics.
+        assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+
+def test_runs_differ_across_specs():
+    serial = run_many(_grid(), jobs=1)
+    assert serial[0].miss_rate != serial[1].miss_rate or (
+        serial[0].mean_power_w != serial[1].mean_power_w
+    )
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(SimulationError):
+        RunSpec(
+            profile="tpu",
+            config=SimConfig(),
+            workload=WorkloadSpec(duration_s=DURATION),
+            run_name="bad",
+        )
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv(BENCH_JOBS_ENV, raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv(BENCH_JOBS_ENV, "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv(BENCH_JOBS_ENV, "0")
+    assert default_jobs() == 1  # clamped to serial
+    monkeypatch.setenv(BENCH_JOBS_ENV, "many")
+    with pytest.raises(SimulationError):
+        default_jobs()
+
+
+def test_trace_dir_routes_per_run(tmp_path):
+    spec = _grid()[1]
+    spec = dataclasses.replace(spec, trace_dir=str(tmp_path))
+    (result,) = run_many([spec], jobs=1)
+    assert result.n_queries > 0
+    traces = list(tmp_path.glob("*.jsonl"))
+    assert len(traces) == 1
+    assert spec.run_name in traces[0].name

@@ -1,0 +1,143 @@
+"""Vectorized sweep ⇔ reference Algorithm-1 loop: decision-for-decision parity.
+
+The vectorized sweep is only allowed to change *how fast* Algorithm 1
+runs, never *what* it decides.  These property-style tests drive both
+implementations through randomized profiles, deadline mixes, power
+budgets and frequency floors and require
+
+- identical :class:`ScheduleDecision` objects (point, batch, timings,
+  and the exact score bits), including the None case, and
+- identical decision-log streams (considered / feasible /
+  rejected_deadline / rejected_power counts, floor relaxation).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.accelerator.power import DVFSTable
+from repro.baselines.modelcosts import ModelCost
+from repro.baselines.profiles import lighttrader_profile
+from repro.core.scheduler import SWEEP_REFERENCE_ENV, WorkloadScheduler
+from repro.telemetry.decisions import DecisionLog
+
+NOW = 5_000_000  # ns
+
+
+@pytest.fixture(scope="module")
+def profile():
+    profile = lighttrader_profile()
+    # Synthetic zoo models stretch the grids beyond the calibrated trio.
+    rng = np.random.default_rng(11)
+    for i in range(3):
+        profile.register(
+            ModelCost(
+                name=f"synthetic_{i}",
+                cycles_batch1=float(rng.uniform(5e4, 5e6)),
+                batch_utilisation=float(rng.uniform(0.2, 0.95)),
+                activity=float(rng.uniform(0.5, 3.0)),
+                total_ops=1e8,
+                weight_bytes=1 << 20,
+            )
+        )
+    return profile
+
+
+def _random_case(rng):
+    depth = int(rng.integers(1, 17))
+    slack = rng.lognormal(mean=np.log(1.5e6), sigma=1.2, size=depth)
+    deadlines = [NOW - 2_000_000 + int(s) for s in slack]  # some already missed
+    budget = float(rng.uniform(2.0, 70.0))
+    floor = float(rng.choice([0.0, 0.8e9, 1.4e9, 2.0e9]))
+    return deadlines, budget, floor
+
+
+@pytest.mark.parametrize("metric", ["ppw", "latency", "throughput"])
+@pytest.mark.parametrize("max_batch", [4, 16])
+def test_randomized_sweep_parity(profile, metric, max_batch):
+    table = DVFSTable(cap_hz=2.2e9)
+    models = ["deeplob", "translob", "vanilla_cnn", "synthetic_0", "synthetic_1"]
+    vec_log, ref_log = DecisionLog(), DecisionLog()
+    vec = WorkloadScheduler(
+        profile, table, max_batch=max_batch, metric=metric, log=vec_log, vectorized=True
+    )
+    ref = WorkloadScheduler(
+        profile, table, max_batch=max_batch, metric=metric, log=ref_log, vectorized=False
+    )
+    seed = {"ppw": 1, "latency": 2, "throughput": 3}[metric] * 100 + max_batch
+    rng = np.random.default_rng(seed)
+    decided = 0
+    for trial in range(150):
+        model = models[int(rng.integers(0, len(models)))]
+        deadlines, budget, floor = _random_case(rng)
+        got = vec.decide(model, NOW, deadlines, budget, floor)
+        want = ref.decide(model, NOW, deadlines, budget, floor)
+        assert got == want, (
+            f"trial {trial}: vectorized {got} != reference {want} "
+            f"(model={model}, budget={budget}, floor={floor}, deadlines={deadlines})"
+        )
+        decided += want is not None
+    # The mix must exercise both outcomes to mean anything.
+    assert 0 < decided < 150 * 0.999
+    assert vec_log.events == ref_log.events
+
+
+def test_parity_without_decision_log(profile):
+    """The uninstrumented fast path picks the same candidates."""
+    table = DVFSTable(cap_hz=2.0e9)
+    vec = WorkloadScheduler(profile, table, vectorized=True)
+    ref = WorkloadScheduler(profile, table, vectorized=False)
+    rng = np.random.default_rng(42)
+    for _ in range(100):
+        deadlines, budget, floor = _random_case(rng)
+        assert vec.decide("deeplob", NOW, deadlines, budget, floor) == ref.decide(
+            "deeplob", NOW, deadlines, budget, floor
+        )
+
+
+def test_scores_are_bit_identical(profile):
+    """Not just the same argmax: the reported score has the same bits."""
+    table = DVFSTable(cap_hz=2.2e9)
+    vec = WorkloadScheduler(profile, table, vectorized=True)
+    ref = WorkloadScheduler(profile, table, vectorized=False)
+    rng = np.random.default_rng(7)
+    compared = 0
+    for _ in range(120):
+        deadlines, budget, floor = _random_case(rng)
+        got = vec.decide("translob", NOW, deadlines, budget, floor)
+        want = ref.decide("translob", NOW, deadlines, budget, floor)
+        if want is None:
+            assert got is None
+            continue
+        assert got.ppw.hex() == want.ppw.hex()
+        assert got.power_w.hex() == want.power_w.hex()
+        compared += 1
+    assert compared > 10
+
+
+def test_reference_env_flag(profile, monkeypatch):
+    table = DVFSTable(cap_hz=2.0e9)
+    monkeypatch.setenv(SWEEP_REFERENCE_ENV, "1")
+    assert WorkloadScheduler(profile, table).vectorized is False
+    monkeypatch.delenv(SWEEP_REFERENCE_ENV)
+    assert WorkloadScheduler(profile, table).vectorized is True
+    assert os.environ.get(SWEEP_REFERENCE_ENV) is None
+
+
+def test_vectorized_falls_back_without_grid_support(profile):
+    """Profiles without sweep_grid() transparently use the reference loop."""
+
+    class Oracle:
+        def t_total_ns(self, model, point, batch_size):
+            return profile.t_total_ns(model, point, batch_size)
+
+        def power_w(self, model, point, batch_size):
+            return profile.power_w(model, point, batch_size)
+
+    table = DVFSTable(cap_hz=2.0e9)
+    bare = WorkloadScheduler(Oracle(), table, vectorized=True)
+    full = WorkloadScheduler(profile, table, vectorized=True)
+    decision = bare.decide("deeplob", NOW, [NOW + 3_000_000], 55.0)
+    assert decision == full.decide("deeplob", NOW, [NOW + 3_000_000], 55.0)
+    assert decision is not None

@@ -1,0 +1,97 @@
+"""Workload cache: memory hits, on-disk round-trips, key separation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    FixedDeadline,
+    OpportunityDeadline,
+    synthetic_workload,
+)
+from repro.sim.workload_cache import (
+    WORKLOAD_CACHE_ENV,
+    cached_synthetic_workload,
+    clear_workload_cache,
+    workload_cache_key,
+)
+
+DURATION = 2.0
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_workload_cache()
+    yield
+    clear_workload_cache()
+
+
+def test_cache_matches_direct_generation():
+    cached = cached_synthetic_workload(DURATION, seed=5, name="headline")
+    direct = synthetic_workload(DURATION, policy=OpportunityDeadline(), seed=5, name="headline")
+    np.testing.assert_array_equal(cached.timestamps, direct.timestamps)
+    np.testing.assert_array_equal(cached.deadlines, direct.deadlines)
+    assert cached.name == direct.name
+
+
+def test_memory_hit_returns_same_object():
+    first = cached_synthetic_workload(DURATION, seed=5)
+    second = cached_synthetic_workload(DURATION, seed=5)
+    assert second is first  # no regeneration, no copy
+
+
+def test_key_separates_parameterisations():
+    base = cached_synthetic_workload(DURATION, seed=5)
+    other_seed = cached_synthetic_workload(DURATION, seed=6)
+    other_policy = cached_synthetic_workload(
+        DURATION, policy=FixedDeadline(budget_ns=5_000_000), seed=5
+    )
+    assert other_seed is not base
+    assert other_policy is not base
+    assert not np.array_equal(other_seed.deadlines, base.deadlines)
+    assert not np.array_equal(other_policy.deadlines, base.deadlines)
+
+
+def test_key_is_stable_and_distinct():
+    key = workload_cache_key(DURATION, _spec(), OpportunityDeadline(), 5, "headline")
+    again = workload_cache_key(DURATION, _spec(), OpportunityDeadline(), 5, "headline")
+    other = workload_cache_key(DURATION, _spec(), OpportunityDeadline(), 6, "headline")
+    assert key == again
+    assert key != other
+
+
+def _spec():
+    from repro.sim.workload import DEFAULT_TRAFFIC
+
+    return DEFAULT_TRAFFIC
+
+
+def test_disk_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv(WORKLOAD_CACHE_ENV, str(tmp_path))
+    first = cached_synthetic_workload(DURATION, seed=9, name="disk")
+    files = list(tmp_path.glob("disk-*.npz"))
+    assert len(files) == 1
+
+    # A fresh process is simulated by dropping the memory level only.
+    clear_workload_cache()
+    second = cached_synthetic_workload(DURATION, seed=9, name="disk")
+    assert second is not first
+    np.testing.assert_array_equal(second.timestamps, first.timestamps)
+    np.testing.assert_array_equal(second.deadlines, first.deadlines)
+    if first.regimes is not None:
+        np.testing.assert_array_equal(second.regimes, first.regimes)
+
+
+def test_corrupt_disk_entry_falls_back(tmp_path, monkeypatch):
+    monkeypatch.setenv(WORKLOAD_CACHE_ENV, str(tmp_path))
+    first = cached_synthetic_workload(DURATION, seed=9, name="disk")
+    (path,) = tmp_path.glob("disk-*.npz")
+    path.write_bytes(b"not an npz")
+    clear_workload_cache()
+    regenerated = cached_synthetic_workload(DURATION, seed=9, name="disk")
+    np.testing.assert_array_equal(regenerated.timestamps, first.timestamps)
+
+
+def test_disk_cache_off_by_default(tmp_path, monkeypatch):
+    monkeypatch.delenv(WORKLOAD_CACHE_ENV, raising=False)
+    cached_synthetic_workload(DURATION, seed=9, name="nodisk")
+    assert list(tmp_path.iterdir()) == []
