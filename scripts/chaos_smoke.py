@@ -1,0 +1,73 @@
+"""Chaos smoke: a seeded fault storm must degrade the system, not crash it.
+
+Runs the degradation grid (LightTrader ws+ds vs the fixed-DVFS baseline)
+at small scale under an aggressive seeded :class:`FaultPlan` — device
+failures with and without recovery, query corruption, thermal throttling,
+DMA stalls and feed loss/dup/reorder — and asserts:
+
+- zero unhandled exceptions and zero :class:`RunFailure` placeholders,
+- every run still answers queries (the cluster never wedges),
+- the miss rate stays bounded (degraded, not collapsed),
+- the whole grid is bit-deterministic (a second pass reproduces it).
+
+Exit code 0 on success; CI runs this as the ``chaos-smoke`` job:
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [duration_s] [seed]
+"""
+
+import sys
+
+from repro.bench.experiments import run_degradation
+
+# A fault storm may cost responses, but over half the answers must
+# survive it or "graceful degradation" is not what happened.
+MAX_MISS_RATE = 0.5
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 3.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    fault_rates = (0.0, 2.0, 4.0)
+
+    first = run_degradation(
+        duration_s=duration, seed=seed, n_accelerators=4, fault_rates=fault_rates
+    )
+    second = run_degradation(
+        duration_s=duration, seed=seed, n_accelerators=4, fault_rates=fault_rates
+    )
+    print(first.table())
+
+    failures = 0
+    for grid in (first, second):
+        failures += grid.failures
+    if failures:
+        print(f"FAIL: {failures} runs died with RunFailure placeholders")
+        return 1
+
+    status = 0
+    for scheme in first.miss:
+        for rate in first.fault_rates:
+            miss = first.miss[scheme][rate]
+            if miss != miss:  # NaN: the run never produced a result
+                print(f"FAIL: {scheme} @ {rate} Hz returned no result")
+                status = 1
+            elif miss > MAX_MISS_RATE:
+                print(
+                    f"FAIL: {scheme} @ {rate} Hz miss rate {miss:.3f} "
+                    f"exceeds the {MAX_MISS_RATE:.0%} degradation bound"
+                )
+                status = 1
+    if first.miss != second.miss or first.pnl != second.pnl:
+        print("FAIL: fault storm is not bit-deterministic across passes")
+        status = 1
+    if status == 0:
+        print(
+            f"chaos smoke OK: {len(first.miss)} schemes x "
+            f"{len(first.fault_rates)} fault rates, "
+            f"no crashes, miss rates bounded, deterministic"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

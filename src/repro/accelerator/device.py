@@ -53,6 +53,13 @@ class Accelerator:
         self.available_at = 0  # includes any in-flight DVFS switch
         self.current: IssueRecord | None = None
         self.completed: int = 0
+        # Health state (fault injection): a failed device is quarantined —
+        # it accepts no work, draws no power, and stays out of every
+        # cluster view until re-admitted.  A thermal cap (Hz) bounds the
+        # operating points the schedulers may program.
+        self.healthy = True
+        self.failures = 0
+        self.cap_hz: float | None = None
         # Telemetry hook: called as (now, accel_id, old_point, new_point,
         # reason) on every PMIC transition.  None = uninstrumented.
         self.on_transition = None
@@ -65,24 +72,85 @@ class Accelerator:
         """Earliest time a new batch could start (busy + switch barriers)."""
         return max(now, self.busy_until, self.available_at)
 
-    def set_point(self, point: OperatingPoint, now: int) -> int:
+    def set_point(
+        self, point: OperatingPoint, now: int, reason: str = "idle_repoint"
+    ) -> int:
         """Change the DVFS operating point.
 
         Returns the time the new point is stable.  Changing the point of
         a busy accelerator is rejected — the hardware applies DVFS
         between batches only.
         """
+        if not self.healthy:
+            raise AcceleratorError(
+                f"accel {self.accel_id}: cannot program a failed device"
+            )
         if not self.is_idle(now):
             raise AcceleratorError(
                 f"accel {self.accel_id}: cannot change DVFS point while busy"
             )
+        if self.cap_hz is not None and point.freq_hz > self.cap_hz + 1e-3:
+            raise AcceleratorError(
+                f"accel {self.accel_id}: {point} exceeds thermal cap "
+                f"{self.cap_hz / 1e9:.1f} GHz"
+            )
         if point == self.point:
             return now
         if self.on_transition is not None:
-            self.on_transition(now, self.accel_id, self.point, point, "idle_repoint")
+            self.on_transition(now, self.accel_id, self.point, point, reason)
         self.point = point
         self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
         return self.available_at
+
+    # -- health (fault injection) ----------------------------------------------
+
+    def fail(self, now: int) -> IssueRecord | None:
+        """Hard-fail the device: quarantine it and surrender its batch.
+
+        Returns the in-flight record (the caller decides what to do with
+        the queries it carried), or None when the device was idle or
+        already failed.  A failed device draws no power and is excluded
+        from every cluster scheduling view until :meth:`recover`.
+        """
+        if not self.healthy:
+            return None
+        self.healthy = False
+        self.failures += 1
+        record = self.current
+        self.current = None
+        self.busy_until = now
+        self.available_at = now
+        return record
+
+    def recover(self, now: int, point: OperatingPoint | None = None) -> None:
+        """Re-admit a quarantined device at ``point`` (default: slowest).
+
+        Re-admission reprograms the PMIC, so the device only becomes
+        schedulable one DVFS switch delay after ``now``.
+        """
+        if self.healthy:
+            return
+        target = point if point is not None else self.table.min_point
+        if self.cap_hz is not None and target.freq_hz > self.cap_hz + 1e-3:
+            target = fastest_capped(self.table, self.cap_hz)
+        if target != self.point and self.on_transition is not None:
+            self.on_transition(now, self.accel_id, self.point, target, "readmission")
+        self.healthy = True
+        self.point = target
+        self.busy_until = now
+        self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
+
+    def throttle(self, cap_hz: float) -> None:
+        """Impose a thermal frequency cap (enforced on future programming)."""
+        if cap_hz < self.table.min_point.freq_hz:
+            raise AcceleratorError(
+                f"accel {self.accel_id}: thermal cap below the slowest DVFS point"
+            )
+        self.cap_hz = cap_hz
+
+    def release_throttle(self) -> None:
+        """Lift the thermal cap (schedulers repoint at the next issue)."""
+        self.cap_hz = None
 
     def issue(
         self,
@@ -97,6 +165,8 @@ class Accelerator:
         ``deadline_ns`` (the oldest query's t_avail boundary) rides along
         so the DVFS scheduler knows how far the batch may be slowed.
         """
+        if not self.healthy:
+            raise AcceleratorError(f"accel {self.accel_id}: cannot issue to a failed device")
         start = self.ready_time(now)
         if start > now:
             raise AcceleratorError(
@@ -170,10 +240,23 @@ class Accelerator:
         return record
 
     def power_now(self, now: int) -> float:
-        """Instantaneous power draw at ``now``."""
+        """Instantaneous power draw at ``now`` (a failed device draws 0)."""
+        if not self.healthy:
+            return 0.0
         if self.current is not None and now < self.current.completion_time:
             return self.current.power_w
         return self.power_model.idle_power_w(self.point)
+
+
+def fastest_capped(table: DVFSTable, cap_hz: float) -> OperatingPoint:
+    """The fastest table point at or below ``cap_hz`` (min point fallback)."""
+    best = table.min_point
+    for point in table:
+        if point.freq_hz <= cap_hz + 1e-3:
+            best = point
+        else:
+            break
+    return best
 
 
 @dataclass
@@ -208,17 +291,30 @@ class AcceleratorCluster:
         """Even static split of the budget (the no-DS baseline policy)."""
         return self.budget_w / self.n_accelerators
 
+    @property
+    def n_healthy(self) -> int:
+        """Devices currently admitted to scheduling."""
+        return sum(1 for d in self.devices if d.healthy)
+
+    def healthy_devices(self) -> list[Accelerator]:
+        """Devices not in quarantine."""
+        return [d for d in self.devices if d.healthy]
+
+    def failed_devices(self) -> list[Accelerator]:
+        """Devices currently quarantined by a hard fault."""
+        return [d for d in self.devices if not d.healthy]
+
     def idle_devices(self, now: int) -> list[Accelerator]:
-        """Devices able to accept a new batch at ``now``."""
-        return [d for d in self.devices if d.ready_time(now) <= now]
+        """Healthy devices able to accept a new batch at ``now``."""
+        return [d for d in self.devices if d.healthy and d.ready_time(now) <= now]
 
     def busy_devices(self, now: int) -> list[Accelerator]:
-        """Devices with a batch in flight at ``now``."""
-        return [d for d in self.devices if not d.is_idle(now)]
+        """Healthy devices with a batch in flight at ``now``."""
+        return [d for d in self.devices if d.healthy and not d.is_idle(now)]
 
     def next_completion(self, now: int) -> int | None:
         """Earliest in-flight completion time, or None if all idle."""
-        times = [d.busy_until for d in self.devices if not d.is_idle(now)]
+        times = [d.busy_until for d in self.busy_devices(now)]
         return min(times) if times else None
 
     def total_power(self, now: int) -> float:
@@ -230,7 +326,7 @@ class AcceleratorCluster:
         return self.budget_w - self.total_power(now)
 
     def set_all_points(self, point: OperatingPoint, now: int) -> None:
-        """Program every idle device to ``point`` (busy devices are skipped)."""
+        """Program every healthy idle device to ``point`` (others skipped)."""
         for device in self.devices:
-            if device.is_idle(now):
+            if device.healthy and device.is_idle(now):
                 device.set_point(point, now)

@@ -12,6 +12,7 @@ import argparse
 
 from repro.bench.experiments import (
     bench_duration_s,
+    run_degradation,
     run_fig8,
     run_fig11,
     run_fig12,
@@ -24,6 +25,7 @@ _FIGURES = {
     "fig11": run_fig11,
     "fig12": run_fig12,
     "fig13": run_fig13,
+    "degradation": run_degradation,
 }
 
 

@@ -27,7 +27,8 @@ from repro.baselines.profiles import (
     gpu_profile,
     lighttrader_profile,
 )
-from repro.bench.runner import RunSpec, WorkloadSpec, run_many
+from repro.bench.runner import RunFailure, RunSpec, WorkloadSpec, run_many
+from repro.faults.plan import FaultPlan, seeded_plan
 from repro.bench.tables import render_table
 from repro.nn.models import benchmark_models, complexity_sweep
 from repro.sim.backtest import Backtester, SimConfig
@@ -577,3 +578,153 @@ def run_fig13(
             scheme
         ] = result.miss_rate
     return Fig13Result(miss=miss)
+
+
+# --- Degradation (robustness) ---------------------------------------------------
+
+DEGRADATION_SCHEMES = ("baseline", "ws+ds")
+DEGRADATION_FAULT_RATES = (0.0, 0.5, 1.0, 2.0)
+
+# P&L proxy constants: an in-time order books the expected edge of one
+# opportunity; a late completion or a dropped/lost opportunity forfeits
+# the edge and pays half of it again in adverse selection (the stale
+# quote gets picked off).  Absolute dollars are arbitrary — the proxy
+# exists to rank schemes under the *same* fault plan, not to price runs.
+PNL_EDGE_USD = 1.0
+PNL_MISS_USD = 0.5
+
+
+def pnl_proxy(result: RunResult) -> float:
+    """Deterministic P&L stand-in computed from a run's outcome counts."""
+    misses = result.completed_late + result.dropped
+    return result.responded * PNL_EDGE_USD - misses * PNL_MISS_USD
+
+
+def degradation_plan(
+    duration_s: float,
+    n_accelerators: int,
+    n_ticks: int,
+    fault_rate_hz: float,
+    seed: int,
+) -> FaultPlan | None:
+    """One knob → a full fault mix, scaled off ``fault_rate_hz``.
+
+    The composite rate spreads across hard device failures (with a
+    bounded downtime so short benchmark runs still see recoveries),
+    query corruption, thermal throttling, DMA stalls, and per-tick feed
+    perturbations.  ``fault_rate_hz <= 0`` returns None — the
+    bit-transparent fault-free path.
+    """
+    if fault_rate_hz <= 0:
+        return None
+    return seeded_plan(
+        duration_s=duration_s,
+        n_accelerators=n_accelerators,
+        n_ticks=n_ticks,
+        seed=seed,
+        device_failure_rate_hz=fault_rate_hz * 0.25,
+        failure_downtime_s=min(2.0, duration_s / 4),
+        corruption_rate_hz=fault_rate_hz,
+        throttle_rate_hz=fault_rate_hz * 0.5,
+        throttle_duration_s=min(0.8, duration_s / 8),
+        stall_rate_hz=fault_rate_hz * 0.5,
+        packet_loss_prob=min(0.01 * fault_rate_hz, 0.2),
+        duplicate_prob=min(0.005 * fault_rate_hz, 0.1),
+        reorder_prob=min(0.005 * fault_rate_hz, 0.1),
+    )
+
+
+@dataclass(frozen=True)
+class DegradationResult:
+    """Graceful-degradation sweep: outcome vs fault rate, per scheme."""
+
+    fault_rates: tuple[float, ...]
+    miss: dict[str, dict[float, float]]  # scheme -> fault rate -> miss rate
+    pnl: dict[str, dict[float, float]]  # scheme -> fault rate -> P&L proxy
+    failures: int  # worker-level RunFailures (should be 0)
+
+    def degradation(self, scheme: str, rate: float) -> float:
+        """Miss-rate increase at ``rate`` relative to the fault-free run."""
+        series = self.miss[scheme]
+        return series[rate] - series[self.fault_rates[0]]
+
+    def table(self) -> str:
+        rows = []
+        for scheme in self.miss:
+            for rate in self.fault_rates:
+                rows.append(
+                    [
+                        scheme,
+                        f"{rate:.2f}",
+                        f"{self.miss[scheme][rate]:.3f}",
+                        f"{self.degradation(scheme, rate):+.3f}",
+                        f"{self.pnl[scheme][rate]:+.0f}",
+                    ]
+                )
+        note = "proactive scheduling should degrade more slowly than fixed DVFS"
+        if self.failures:
+            note += f"; WARNING: {self.failures} runs failed"
+        return render_table(
+            "Degradation: deadline misses and P&L proxy vs fault rate",
+            ["scheme", "fault rate (Hz)", "miss rate", "Δ vs fault-free", "P&L proxy"],
+            rows,
+            note=note,
+        )
+
+
+def run_degradation(
+    duration_s: float | None = None,
+    seed: int = 1,
+    model: str = "deeplob",
+    n_accelerators: int = 8,
+    fault_rates: tuple[float, ...] = DEGRADATION_FAULT_RATES,
+    schemes: tuple[str, ...] = DEGRADATION_SCHEMES,
+    trace_dir=None,
+    jobs: int | None = None,
+) -> DegradationResult:
+    """Sweep the composite fault rate for each scheduling scheme.
+
+    Every scheme at a given fault rate runs under the *identical*
+    :class:`FaultPlan` (same seed, same events), so the comparison
+    isolates the scheduler's resilience rather than fault-plan luck.
+    """
+    workload_spec = _headline_spec(duration_s, seed)
+    n_ticks = len(workload_spec.build())
+    specs = []
+    grid = []
+    for rate in fault_rates:
+        plan = degradation_plan(
+            workload_spec.duration_s, n_accelerators, n_ticks, rate, seed
+        )
+        for scheme in schemes:
+            ws, ds = _SCHEME_FLAGS[scheme]
+            grid.append((scheme, rate))
+            specs.append(
+                RunSpec(
+                    profile="lighttrader",
+                    config=SimConfig(
+                        model=model,
+                        n_accelerators=n_accelerators,
+                        workload_scheduling=ws,
+                        dvfs_scheduling=ds,
+                    ),
+                    workload=workload_spec,
+                    run_name=f"degradation-{scheme}-r{rate:g}",
+                    trace_dir=trace_dir,
+                    faults=plan,
+                )
+            )
+    miss: dict[str, dict[float, float]] = {}
+    pnl: dict[str, dict[float, float]] = {}
+    failures = 0
+    for (scheme, rate), result in zip(grid, run_many(specs, jobs=jobs)):
+        if isinstance(result, RunFailure):
+            failures += 1
+            miss.setdefault(scheme, {})[rate] = float("nan")
+            pnl.setdefault(scheme, {})[rate] = float("nan")
+            continue
+        miss.setdefault(scheme, {})[rate] = result.miss_rate
+        pnl.setdefault(scheme, {})[rate] = pnl_proxy(result)
+    return DegradationResult(
+        fault_rates=tuple(fault_rates), miss=miss, pnl=pnl, failures=failures
+    )

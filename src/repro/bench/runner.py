@@ -6,13 +6,18 @@ per model, per system, per accelerator count, per scheduling scheme.
 deterministic default) or across a process pool, with
 
 - **deterministic ordering**: results come back in spec order whatever
-  the completion order (``ProcessPoolExecutor.map`` semantics);
+  the completion order;
 - **seed isolation**: a :class:`RunSpec` carries the full workload
   parameterisation, and every run is a pure function of its spec — the
   same spec produces the byte-identical :class:`RunResult` at any job
   count;
 - **per-run trace routing**: each spec names its run, so JSONL traces
-  from parallel workers land in distinct files of the shared trace dir.
+  from parallel workers land in distinct files of the shared trace dir;
+- **crash containment**: a worker process dying (OOM-killed, segfault)
+  no longer poisons the whole grid — the affected specs are retried on a
+  fresh pool (``REPRO_BENCH_RETRIES`` times, default 1) and, if the
+  crash persists, reported as per-run :class:`RunFailure` placeholders
+  with every other result intact.
 
 Workers rebuild workloads through the workload cache (one generation per
 process at most; zero with ``REPRO_WORKLOAD_CACHE``) and reuse one
@@ -25,7 +30,8 @@ process-wide default (1 = serial).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.baselines.modelcosts import ModelCost
@@ -37,6 +43,7 @@ from repro.baselines.profiles import (
     lighttrader_profile,
 )
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 from repro.sim.backtest import Backtester, SimConfig
 from repro.sim.metrics import RunResult
 from repro.sim.workload_cache import cached_synthetic_workload
@@ -44,15 +51,23 @@ from repro.telemetry import run_telemetry
 
 __all__ = [
     "BENCH_JOBS_ENV",
+    "BENCH_RETRIES_ENV",
+    "RunFailure",
     "RunSpec",
     "WorkloadSpec",
     "default_jobs",
+    "default_retries",
     "execute_run",
     "profile_for",
     "run_many",
 ]
 
 BENCH_JOBS_ENV = "REPRO_BENCH_JOBS"
+# Extra pool rebuilds granted when a worker process dies mid-grid.
+BENCH_RETRIES_ENV = "REPRO_BENCH_RETRIES"
+# Test hook: a file whose content names a run; executing that run removes
+# the file and kills the worker process (simulating an OOM kill / segv).
+BENCH_CRASH_FILE_ENV = "REPRO_BENCH_CRASH_FILE"
 
 _PROFILE_FACTORIES = {
     "lighttrader": lighttrader_profile,
@@ -74,6 +89,17 @@ def default_jobs() -> int:
         return max(1, int(value))
     except ValueError:
         raise SimulationError(f"{BENCH_JOBS_ENV} must be an integer, got {value!r}")
+
+
+def default_retries() -> int:
+    """Pool-crash retries: ``REPRO_BENCH_RETRIES`` or 1."""
+    value = os.environ.get(BENCH_RETRIES_ENV)
+    if not value:
+        return 1
+    try:
+        return max(0, int(value))
+    except ValueError:
+        raise SimulationError(f"{BENCH_RETRIES_ENV} must be an integer, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -102,12 +128,31 @@ class RunSpec:
     # Extra model costs to register on the (LightTrader) profile before
     # running — how the Fig. 8 zoo models travel to worker processes.
     extra_costs: tuple[ModelCost, ...] = field(default=())
+    # Deterministic fault schedule injected into the run (None/empty =
+    # the bit-transparent fault-free path).
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.profile not in _PROFILE_FACTORIES:
             raise SimulationError(
                 f"unknown profile {self.profile!r}; known: {sorted(_PROFILE_FACTORIES)}"
             )
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Placeholder result for a spec whose worker process died.
+
+    Carries the spec index so grid consumers can keep row/column
+    alignment; truthiness is False so ``filter`` idioms skip it.
+    """
+
+    spec_index: int
+    error: str
+    attempts: int
+
+    def __bool__(self) -> bool:
+        return False
 
 
 def profile_for(name: str) -> SystemProfile:
@@ -118,8 +163,24 @@ def profile_for(name: str) -> SystemProfile:
     return profile
 
 
+def _maybe_crash(spec: RunSpec) -> None:
+    """Kill this worker if the crash-hook file names ``spec`` (tests only)."""
+    crash_file = os.environ.get(BENCH_CRASH_FILE_ENV)
+    if not crash_file or not os.path.exists(crash_file):
+        return
+    try:
+        with open(crash_file) as handle:
+            target = handle.read().strip()
+    except OSError:
+        return
+    if target == spec.run_name:
+        os.remove(crash_file)  # consume: the retry of this spec survives
+        os._exit(13)
+
+
 def execute_run(spec: RunSpec) -> RunResult:
     """Run one spec (the process-pool work item)."""
+    _maybe_crash(spec)
     profile = profile_for(spec.profile)
     if spec.extra_costs:
         if not isinstance(profile, LightTraderProfile):
@@ -129,22 +190,35 @@ def execute_run(spec: RunSpec) -> RunResult:
                 profile.register(cost)
     workload = spec.workload.build()
     telemetry = run_telemetry(spec.run_name, spec.trace_dir) if spec.trace_dir else None
-    result = Backtester(workload, profile, spec.config, telemetry=telemetry).run()
+    result = Backtester(
+        workload, profile, spec.config, telemetry=telemetry, faults=spec.faults
+    ).run()
     if telemetry is not None:
         telemetry.close()
     return result
 
 
-def run_many(specs: "list[RunSpec]", jobs: int | None = None) -> "list[RunResult]":
+def run_many(
+    specs: "list[RunSpec]",
+    jobs: int | None = None,
+    retries: int | None = None,
+) -> "list[RunResult | RunFailure]":
     """Execute ``specs``, returning results in spec order.
 
     ``jobs=None`` reads ``REPRO_BENCH_JOBS``; 1 runs inline with no pool
     (bit-for-bit the serial path).  Each worker is warm across its share
     of the grid — profiles, sweep grids and cached workloads persist for
     the pool's lifetime.
+
+    A worker process dying (not an ordinary exception — those still
+    propagate) breaks the pool; the unfinished specs are retried on a
+    fresh pool up to ``retries`` times (``REPRO_BENCH_RETRIES``, default
+    1), and any spec still unfinished yields a :class:`RunFailure` at its
+    index instead of poisoning the whole grid.
     """
     specs = list(specs)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    retries = default_retries() if retries is None else max(0, int(retries))
     if jobs == 1 or len(specs) <= 1:
         return [execute_run(spec) for spec in specs]
     # Build each distinct workload once in the parent before forking:
@@ -152,5 +226,41 @@ def run_many(specs: "list[RunSpec]", jobs: int | None = None) -> "list[RunResult
     # regenerating per worker (a no-op on spawn platforms).
     for workload_spec in dict.fromkeys(spec.workload for spec in specs):
         workload_spec.build()
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(execute_run, specs))
+    results: "dict[int, RunResult | RunFailure]" = {}
+    pending = list(range(len(specs)))
+    attempts = 0
+    while pending:
+        attempts += 1
+        broken = None
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(execute_run, specs[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                    else:
+                        continue
+                    break
+                if broken is not None:
+                    break
+        if broken is None:
+            pending = []
+        else:
+            # Every spec without a result rides the retry (the dead
+            # worker took its own spec down and cancelled the queued
+            # ones; finished results are kept).
+            pending = [i for i in pending if i not in results]
+            if attempts > retries:
+                for index in pending:
+                    results[index] = RunFailure(
+                        spec_index=index,
+                        error=f"worker process died: {broken}",
+                        attempts=attempts,
+                    )
+                pending = []
+    return [results[i] for i in range(len(specs))]

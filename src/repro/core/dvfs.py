@@ -167,6 +167,8 @@ class DVFSScheduler:
         for point in self.table:
             if point.freq_hz <= device.point.freq_hz:
                 continue
+            if device.cap_hz is not None and point.freq_hz > device.cap_hz + 1e-3:
+                break  # thermally throttled: nothing faster is programmable
             new_power = device.power_model.power_w(
                 point, record.activity, record.batch_size
             )

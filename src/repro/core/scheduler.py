@@ -105,6 +105,7 @@ class WorkloadScheduler:
         deadlines: "list[int]",
         power_budget_w: float,
         floor_freq_hz: float = 0.0,
+        cap_freq_hz: float | None = None,
     ) -> ScheduleDecision | None:
         """Run one Algorithm-1 sweep.
 
@@ -125,6 +126,10 @@ class WorkloadScheduler:
                 are still considered when nothing at or above the floor
                 is feasible (e.g. the power share cannot carry them).
 
+            cap_freq_hz: Hard upper bound on the operating-point
+                frequency (a thermally throttled device); unlike the
+                floor it is never relaxed.
+
         Returns:
             The best feasible decision, or None (caller then removes the
             oldest input tensor, Algorithm 1's fallback).
@@ -142,11 +147,15 @@ class WorkloadScheduler:
             if self.log is not None
             else None
         )
-        best = self._sweep(model, now, tightest, power_budget_w, floor_freq_hz, stats)
+        best = self._sweep(
+            model, now, tightest, power_budget_w, floor_freq_hz, cap_freq_hz, stats
+        )
         floor_relaxed = False
         if best is None and floor_freq_hz > 0.0:
             floor_relaxed = True
-            best = self._sweep(model, now, tightest, power_budget_w, 0.0, stats)
+            best = self._sweep(
+                model, now, tightest, power_budget_w, 0.0, cap_freq_hz, stats
+            )
         if self.log is not None and stats is not None:
             self.log.record_sweep(
                 now,
@@ -166,44 +175,50 @@ class WorkloadScheduler:
         tightest: "list[int]",
         power_budget_w: float,
         floor_freq_hz: float,
+        cap_freq_hz: "float | None",
         stats: "dict[str, int] | None" = None,
     ) -> ScheduleDecision | None:
-        tables = self._tables(model, floor_freq_hz)
+        tables = self._tables(model, floor_freq_hz, cap_freq_hz)
         if tables is None:
             return self._sweep_reference(
-                model, now, tightest, power_budget_w, floor_freq_hz, stats
+                model, now, tightest, power_budget_w, floor_freq_hz, cap_freq_hz, stats
             )
         return self._sweep_vectorized(tables, now, tightest, power_budget_w, stats)
 
     def _tables(
-        self, model: str, floor_freq_hz: float
+        self, model: str, floor_freq_hz: float, cap_freq_hz: "float | None" = None
     ) -> "tuple[tuple[OperatingPoint, ...], np.ndarray, np.ndarray, np.ndarray] | None":
-        """Floor-filtered (points, t_total, power, score) tables, or None
-        when this scheduler is on the reference path.
+        """Floor/cap-filtered (points, t_total, power, score) tables, or
+        None when this scheduler is on the reference path.
 
         Scores are sweep-invariant (pure functions of the grid), so they
-        are materialised here once per (model, floor) rather than per
-        issue; the per-sweep work reduces to two feasibility masks and a
-        masked argmax.
+        are materialised here once per (model, floor, cap) rather than
+        per issue; the per-sweep work reduces to two feasibility masks
+        and a masked argmax.
         """
         if not self.vectorized:
             return None
-        key = (model, floor_freq_hz)
+        key = (model, floor_freq_hz, cap_freq_hz)
         tables = self._grids.get(key)
         if tables is None:
             builder = getattr(self.profile, "sweep_grid", None)
             if builder is None:  # profile without precomputed tables
                 return None
             grid: SweepGrid = builder(model, self.table, self.max_batch)
+            keep = np.ones(len(grid.points), dtype=bool)
             if floor_freq_hz > 0.0:
-                rows = np.flatnonzero(grid.freq_hz >= floor_freq_hz)
-                points = tuple(grid.points[i] for i in rows)
-                t_total = grid.t_total_ns[rows]
-                power = grid.power_w[rows]
-            else:
+                keep &= grid.freq_hz >= floor_freq_hz
+            if cap_freq_hz is not None:
+                keep &= grid.freq_hz <= cap_freq_hz + 1e-3
+            if keep.all():
                 points = grid.points
                 t_total = grid.t_total_ns
                 power = grid.power_w
+            else:
+                rows = np.flatnonzero(keep)
+                points = tuple(grid.points[i] for i in rows)
+                t_total = grid.t_total_ns[rows]
+                power = grid.power_w[rows]
             # Scores reproduce the scalar _score() float operations exactly
             # (same operands, same IEEE op order), just elementwise.
             batches = np.arange(1, self.max_batch + 1, dtype=np.float64)
@@ -261,11 +276,14 @@ class WorkloadScheduler:
         tightest: "list[int]",
         power_budget_w: float,
         floor_freq_hz: float,
+        cap_freq_hz: "float | None" = None,
         stats: "dict[str, int] | None" = None,
     ) -> ScheduleDecision | None:
         best: ScheduleDecision | None = None
         for point in self.table:
             if point.freq_hz < floor_freq_hz:
+                continue
+            if cap_freq_hz is not None and point.freq_hz > cap_freq_hz + 1e-3:
                 continue
             for batch_size in range(1, len(tightest) + 1):
                 if stats is not None:
@@ -301,6 +319,12 @@ class WorkloadScheduler:
         deadline (drop the tensor, its opportunity is gone) versus a
         transient power shortage (keep it queued; an accelerator frees
         both capacity and power shortly).
+
+        Boundary convention (pinned repo-wide): a completion landing
+        exactly at the deadline is in time, so feasibility here is
+        ``now + fastest_ns <= deadline``; conversely a query whose
+        deadline equals ``now`` is already stale (see
+        ``OffloadEngine.drop_stale`` / ``Backtester._drop_stale``).
         """
         fastest_ns = self._fastest_ns.get(model)
         if fastest_ns is None:

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the back-test simulator.
+
+The faults subsystem lets a run declare, up front and reproducibly, every
+bad thing that will happen to it: accelerator failures, transient result
+corruption, thermal throttling, feed packet loss/reorder/duplication and
+offload DMA stalls.  A :class:`~repro.faults.plan.FaultPlan` is a frozen,
+seedable value object carried by :class:`~repro.bench.runner.RunSpec` and
+:class:`~repro.sim.backtest.Backtester`; the
+:class:`~repro.faults.injector.FaultInjector` replays it on the existing
+:class:`~repro.sim.events.EventQueue`, so identical seeds and identical
+plans produce byte-identical :class:`~repro.sim.metrics.RunResult`\\ s —
+perturbations included.  An empty plan is bit-transparent: the simulator
+takes exactly the code paths it takes with faults disabled.
+"""
+
+from repro.faults.plan import (
+    DEVICE_FAILURE,
+    DEVICE_RECOVERY,
+    DMA_STALL,
+    FAULT_KINDS,
+    PACKET_DROP,
+    PACKET_DUP,
+    PACKET_REORDER,
+    QUERY_CORRUPTION,
+    THERMAL_RELEASE,
+    THERMAL_THROTTLE,
+    FaultEvent,
+    FaultPlan,
+    seeded_plan,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "DEVICE_FAILURE",
+    "DEVICE_RECOVERY",
+    "DMA_STALL",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PACKET_DROP",
+    "PACKET_DUP",
+    "PACKET_REORDER",
+    "QUERY_CORRUPTION",
+    "THERMAL_RELEASE",
+    "THERMAL_THROTTLE",
+    "seeded_plan",
+]

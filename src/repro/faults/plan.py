@@ -1,0 +1,221 @@
+"""Fault plans: the declarative, seedable side of fault injection.
+
+A :class:`FaultPlan` is an immutable list of timestamped
+:class:`FaultEvent`\\ s.  Cluster-scoped events (failures, corruption,
+throttling, DMA stalls) ride the simulator's event queue as
+``EventKind.FAULT`` entries; feed-scoped events (drop / duplicate /
+reorder) are resolved when the arrival schedule is built, before the
+event loop starts.  Everything is plain frozen dataclasses so plans
+hash, pickle across process-pool workers, and compare by value.
+
+:func:`seeded_plan` samples a plan from independent Poisson processes
+(cluster faults) and per-tick Bernoulli draws (feed faults) off one
+``numpy`` generator seed — the JAX-LOB discipline: a perturbation is
+only trustworthy if you can replay it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import GHZ, sec_to_ns, us_to_ns
+
+# Cluster-scoped fault kinds (carried on the event queue).
+DEVICE_FAILURE = "device_failure"
+DEVICE_RECOVERY = "device_recovery"
+QUERY_CORRUPTION = "query_corruption"
+THERMAL_THROTTLE = "thermal_throttle"
+THERMAL_RELEASE = "thermal_release"
+DMA_STALL = "dma_stall"
+# Feed-scoped fault kinds (resolved at arrival-schedule build time).
+PACKET_DROP = "packet_drop"
+PACKET_DUP = "packet_dup"
+PACKET_REORDER = "packet_reorder"
+
+CLUSTER_KINDS = frozenset(
+    {
+        DEVICE_FAILURE,
+        DEVICE_RECOVERY,
+        QUERY_CORRUPTION,
+        THERMAL_THROTTLE,
+        THERMAL_RELEASE,
+        DMA_STALL,
+    }
+)
+FEED_KINDS = frozenset({PACKET_DROP, PACKET_DUP, PACKET_REORDER})
+FAULT_KINDS = CLUSTER_KINDS | FEED_KINDS
+
+_NEEDS_ACCEL = frozenset(
+    {DEVICE_FAILURE, DEVICE_RECOVERY, QUERY_CORRUPTION, THERMAL_THROTTLE, THERMAL_RELEASE}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    Field use depends on ``kind``:
+
+    - ``device_failure``: ``accel_id``; ``duration_ns > 0`` quarantines
+      then re-admits the device after that downtime, ``0`` is permanent.
+    - ``query_corruption``: ``accel_id``; the batch in flight at ``t_ns``
+      (if any) returns garbage and is re-issued or dropped.
+    - ``thermal_throttle``: ``accel_id`` + ``cap_hz`` + ``duration_ns``.
+    - ``dma_stall``: ``duration_ns``; query admission pauses in the window.
+    - ``packet_drop`` / ``packet_dup`` / ``packet_reorder``:
+      ``tick_index`` (+ ``delay_ns`` for dup/reorder).
+    """
+
+    t_ns: int
+    kind: str
+    accel_id: int = -1
+    duration_ns: int = 0
+    cap_hz: float = 0.0
+    tick_index: int = -1
+    delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(f"unknown fault kind {self.kind!r}")
+        if self.t_ns < 0:
+            raise SimulationError(f"fault time must be non-negative, got {self.t_ns}")
+        if self.kind in _NEEDS_ACCEL and self.accel_id < 0:
+            raise SimulationError(f"{self.kind} fault needs an accel_id")
+        if self.kind in FEED_KINDS and self.tick_index < 0:
+            raise SimulationError(f"{self.kind} fault needs a tick_index")
+        if self.duration_ns < 0 or self.delay_ns < 0:
+            raise SimulationError("fault durations and delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one back-test run.
+
+    The empty plan (the default) is bit-transparent: running with it is
+    byte-identical to running with faults disabled.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None  # provenance only; never re-sampled
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def cluster_events(self) -> tuple[FaultEvent, ...]:
+        """Events replayed on the simulator's event queue, time-sorted."""
+        picked = [e for e in self.events if e.kind in CLUSTER_KINDS]
+        picked.sort(key=lambda e: e.t_ns)
+        return tuple(picked)
+
+    def feed_events(self) -> tuple[FaultEvent, ...]:
+        """Feed perturbations, applied to the arrival schedule."""
+        return tuple(e for e in self.events if e.kind in FEED_KINDS)
+
+    def counts(self) -> dict[str, int]:
+        """Planned events per kind (for logs and reports)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+def seeded_plan(
+    duration_s: float,
+    n_accelerators: int,
+    n_ticks: int = 0,
+    seed: int = 0,
+    device_failure_rate_hz: float = 0.0,
+    failure_downtime_s: float = 2.0,
+    corruption_rate_hz: float = 0.0,
+    throttle_rate_hz: float = 0.0,
+    throttle_duration_s: float = 0.8,
+    throttle_cap_ghz: float = 1.2,
+    stall_rate_hz: float = 0.0,
+    stall_duration_us: float = 300.0,
+    packet_loss_prob: float = 0.0,
+    duplicate_prob: float = 0.0,
+    reorder_prob: float = 0.0,
+    reorder_delay_us: float = 150.0,
+) -> FaultPlan:
+    """Sample a reproducible fault plan from one seed.
+
+    Cluster faults arrive as Poisson processes at the given rates with
+    uniform device targets; feed faults are i.i.d. per-tick Bernoulli
+    draws over ``n_ticks``.  Identical arguments produce identical plans
+    on every platform (``numpy`` PCG64 stream).
+    """
+    if duration_s <= 0:
+        raise SimulationError("plan duration must be positive")
+    if n_accelerators <= 0:
+        raise SimulationError("plan needs at least one accelerator")
+    rng = np.random.default_rng(seed)
+    horizon_ns = sec_to_ns(duration_s)
+    events: list[FaultEvent] = []
+
+    def poisson_times(rate_hz: float) -> list[int]:
+        if rate_hz <= 0:
+            return []
+        count = int(rng.poisson(rate_hz * duration_s))
+        return sorted(int(t) for t in rng.uniform(0, horizon_ns, size=count))
+
+    for t in poisson_times(device_failure_rate_hz):
+        events.append(
+            FaultEvent(
+                t_ns=t,
+                kind=DEVICE_FAILURE,
+                accel_id=int(rng.integers(n_accelerators)),
+                duration_ns=sec_to_ns(failure_downtime_s) if failure_downtime_s > 0 else 0,
+            )
+        )
+    for t in poisson_times(corruption_rate_hz):
+        events.append(
+            FaultEvent(
+                t_ns=t,
+                kind=QUERY_CORRUPTION,
+                accel_id=int(rng.integers(n_accelerators)),
+            )
+        )
+    for t in poisson_times(throttle_rate_hz):
+        events.append(
+            FaultEvent(
+                t_ns=t,
+                kind=THERMAL_THROTTLE,
+                accel_id=int(rng.integers(n_accelerators)),
+                duration_ns=sec_to_ns(throttle_duration_s),
+                cap_hz=throttle_cap_ghz * GHZ,
+            )
+        )
+    for t in poisson_times(stall_rate_hz):
+        events.append(
+            FaultEvent(t_ns=t, kind=DMA_STALL, duration_ns=us_to_ns(stall_duration_us))
+        )
+
+    if n_ticks > 0 and (packet_loss_prob or duplicate_prob or reorder_prob):
+        draws = rng.random(n_ticks)
+        # Disjoint probability bands so one tick suffers at most one feed
+        # fault — keeps the perturbation interpretable per tick.
+        loss_hi = min(packet_loss_prob, 1.0)
+        dup_hi = min(loss_hi + duplicate_prob, 1.0)
+        reorder_hi = min(dup_hi + reorder_prob, 1.0)
+        delay_ns = us_to_ns(reorder_delay_us)
+        for index in range(n_ticks):
+            draw = draws[index]
+            if draw < loss_hi:
+                events.append(FaultEvent(t_ns=0, kind=PACKET_DROP, tick_index=index))
+            elif draw < dup_hi:
+                events.append(
+                    FaultEvent(
+                        t_ns=0, kind=PACKET_DUP, tick_index=index, delay_ns=delay_ns
+                    )
+                )
+            elif draw < reorder_hi:
+                events.append(
+                    FaultEvent(
+                        t_ns=0, kind=PACKET_REORDER, tick_index=index, delay_ns=delay_ns
+                    )
+                )
+    return FaultPlan(events=tuple(events), seed=seed)

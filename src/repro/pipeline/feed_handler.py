@@ -17,7 +17,49 @@ from repro.lob.book import LimitOrderBook
 from repro.lob.events import BookUpdate, MarketEvent, TradeTick, UpdateAction
 from repro.lob.order import Order, Side
 from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
+from repro.protocol.framing import decode_sequenced_payload, decode_udp_frame
 from repro.protocol.parser import PacketParser
+
+# Sequence-tracker verdicts.
+SEQ_FIRST = "first"
+SEQ_OK = "ok"
+SEQ_DUPLICATE = "duplicate"
+SEQ_GAP = "gap"
+
+
+@dataclass
+class SequenceTracker:
+    """Feed sequence-number bookkeeping: loss, reordering, duplication.
+
+    A market-data feed numbers every datagram consecutively.  The tracker
+    classifies each observed number against the expected next one:
+    ``ok`` (in order), ``duplicate`` (at or below the last seen — a
+    repeated or late copy whose contents were already applied or
+    superseded), or ``gap`` (numbers were skipped: packets are lost until
+    proven otherwise, and the book mirrors are stale until resynced from
+    a snapshot).
+    """
+
+    expected: int | None = None
+    gaps: int = 0
+    lost_packets: int = 0
+    duplicates: int = 0
+
+    def observe(self, sequence: int) -> str:
+        """Classify one sequence number and advance the tracker."""
+        if self.expected is None:
+            self.expected = sequence + 1
+            return SEQ_FIRST
+        if sequence == self.expected:
+            self.expected += 1
+            return SEQ_OK
+        if sequence < self.expected:
+            self.duplicates += 1
+            return SEQ_DUPLICATE
+        self.gaps += 1
+        self.lost_packets += sequence - self.expected
+        self.expected = sequence + 1
+        return SEQ_GAP
 
 
 @dataclass
@@ -35,9 +77,38 @@ class LocalBookMirror:
     _level_orders: dict[tuple[Side, int], int] = field(default_factory=dict)
     last_trade_price: int | None = None
     last_trade_quantity: int = 0
+    # A sequence gap leaves the mirror potentially missing updates; it
+    # stays stale (snapshots withheld) until resynced from an
+    # authoritative DepthSnapshot.
+    stale: bool = False
 
     def __post_init__(self) -> None:
         self.book = LimitOrderBook(self.symbol)
+
+    def invalidate(self) -> None:
+        """Mark the mirror stale (a feed gap may have lost updates)."""
+        self.stale = True
+
+    def resync(self, snapshot: DepthSnapshot) -> None:
+        """Rebuild the mirror from an authoritative depth snapshot.
+
+        The snapshot's aggregate levels replace the whole book — exactly
+        the recovery a real feed handler performs from the exchange's
+        snapshot channel after detecting loss on the incremental channel.
+        """
+        self.book = LimitOrderBook(self.symbol)
+        self._level_orders.clear()
+        for side, levels in ((Side.BID, snapshot.bids), (Side.ASK, snapshot.asks)):
+            for price, volume in levels:
+                if volume <= 0:
+                    continue
+                order = Order(side=side, price=price, quantity=volume)
+                self.book.insert(order)
+                self._level_orders[(side, price)] = order.order_id
+        if snapshot.last_trade_price is not None:
+            self.last_trade_price = snapshot.last_trade_price
+            self.last_trade_quantity = snapshot.last_trade_quantity
+        self.stale = False
 
     def apply(self, event: MarketEvent) -> None:
         """Apply one decoded market event to the mirror."""
@@ -69,12 +140,14 @@ class LocalBookMirror:
 
 
 class FeedHandler:
-    """Parser + per-symbol book mirrors."""
+    """Parser + per-symbol book mirrors + feed sequence tracking."""
 
     def __init__(self, parser: PacketParser) -> None:
         self.parser = parser
         self.mirrors: dict[str, LocalBookMirror] = {}
+        self.sequence = SequenceTracker()
         self.ticks_seen = 0
+        self.suppressed_duplicates = 0
 
     def mirror(self, symbol: str) -> LocalBookMirror:
         """The mirror for ``symbol``, created on first use."""
@@ -90,6 +163,37 @@ class FeedHandler:
         packet = self.parser.parse_frame(frame)
         if packet is None:
             return []
+        return self._apply_packet(packet)
+
+    def on_sequenced_frame(self, frame: bytes) -> list[DepthSnapshot]:
+        """Process one wire frame whose payload carries a sequence number.
+
+        Duplicates (a repeated or reordered-late datagram) are dropped —
+        their updates were already applied or superseded.  A gap marks
+        every mirror stale: updates keep applying (freshest data still
+        beats none for the top levels the feed repeats often), but
+        snapshot emission is withheld until :meth:`on_snapshot` resyncs,
+        so no model input is built from a book known to be incomplete.
+        """
+        __, payload = decode_udp_frame(frame)
+        sequence, body = decode_sequenced_payload(payload)
+        verdict = self.sequence.observe(sequence)
+        if verdict == SEQ_DUPLICATE:
+            self.suppressed_duplicates += 1
+            return []
+        if verdict == SEQ_GAP:
+            for mirror in self.mirrors.values():
+                mirror.invalidate()
+        packet = self.parser.parse_payload(body)
+        if packet is None:
+            return []
+        return self._apply_packet(packet)
+
+    def on_snapshot(self, symbol: str, snapshot: DepthSnapshot) -> None:
+        """Resync one symbol's mirror from the snapshot channel."""
+        self.mirror(symbol).resync(snapshot)
+
+    def _apply_packet(self, packet) -> list[DepthSnapshot]:
         touched: dict[str, int] = {}
         for event in packet.events:
             self.mirror(event.symbol).apply(event)
@@ -98,4 +202,5 @@ class FeedHandler:
         return [
             self.mirrors[symbol].snapshot(timestamp)
             for symbol, timestamp in touched.items()
+            if not self.mirrors[symbol].stale
         ]

@@ -41,7 +41,14 @@ class NormalizationStats:
         return cls(mean=features.mean(axis=0), std=std)
 
     def apply(self, vector: np.ndarray) -> np.ndarray:
-        """Z-score ``vector`` and quantise to BF16."""
+        """Z-score ``vector`` and quantise to BF16.
+
+        The input must be finite — NaN/Inf would quantise silently into
+        the BF16 tensor and poison every window that stacks it; callers
+        reject corrupt vectors first (see ``OffloadEngine.on_tick``).
+        """
+        if not np.isfinite(vector).all():
+            raise SchedulingError("non-finite feature vector reached normalisation")
         return to_bf16((vector - self.mean) / self.std)
 
 
@@ -98,6 +105,7 @@ class OffloadEngine:
         self.dropped_overflow = 0
         self.dropped_stale = 0
         self.dropped_unschedulable = 0
+        self.rejected_corrupt = 0  # non-finite feature vectors refused at ingest
 
     # -- ingest ------------------------------------------------------------------
 
@@ -115,6 +123,12 @@ class OffloadEngine:
         """
         if self.store_tensors:
             vector = snapshot.feature_vector()
+            if not np.isfinite(vector).all():
+                # A corrupt (NaN/Inf) vector would otherwise quantise
+                # silently into the FIFO and contaminate the next
+                # ``window`` stacked tensors; reject the tick instead.
+                self.rejected_corrupt += 1
+                return None
             if self.stats is not None:
                 vector = self.stats.apply(vector)
             self._fifo.append(vector)
@@ -195,8 +209,35 @@ class OffloadEngine:
         self.dropped_unschedulable += 1
         return query
 
+    def requeue_front(self, queries: "list[Query]") -> None:
+        """Put surrendered queries back at the head of the pending queue.
+
+        Used when a device fails or returns a corrupted result: the batch
+        it carried goes back to the front (oldest first, preserving FIFO
+        order) and competes for the next issue against its original
+        deadline.
+        """
+        if not queries:
+            return
+        requeued_min = min(q.deadline for q in queries)
+        if not self._pending:
+            self._min_deadline_bound = requeued_min
+        else:
+            self._min_deadline_bound = min(self._min_deadline_bound, requeued_min)
+        self._pending.extendleft(reversed(queries))
+
     def drop_stale(self, now: int) -> list[Query]:
-        """Drop every pending query whose deadline has already passed."""
+        """Drop every pending query whose deadline has already passed.
+
+        Boundary convention (pinned repo-wide): ``deadline <= now`` is
+        stale.  Inference takes strictly positive time, so a query still
+        pending when its deadline arrives can no longer produce an
+        in-time result.  The complementary rules: a completion landing
+        exactly at the deadline is in time (``Query.in_time``,
+        ``MetricsCollector``), and issue feasibility is
+        ``now + fastest <= deadline``
+        (``WorkloadScheduler.deadline_feasible``).
+        """
         if not self._pending or now < self._min_deadline_bound:
             return []  # every deadline is >= bound > now: nothing stale
         dropped = []

@@ -19,11 +19,15 @@ IP_PROTO_UDP = 17
 _ETH_HEADER = struct.Struct("!6s6sH")
 _IP_HEADER = struct.Struct("!BBHHHBBH4s4s")
 _UDP_HEADER = struct.Struct("!HHHH")
+# Market-data feeds number every datagram so receivers can detect loss;
+# the 4-byte big-endian counter leads the UDP payload.
+_SEQ_PREFIX = struct.Struct("!I")
 
 ETH_HEADER_LEN = _ETH_HEADER.size  # 14
 IP_HEADER_LEN = _IP_HEADER.size  # 20
 UDP_HEADER_LEN = _UDP_HEADER.size  # 8
 TOTAL_HEADER_LEN = ETH_HEADER_LEN + IP_HEADER_LEN + UDP_HEADER_LEN
+SEQ_PREFIX_LEN = _SEQ_PREFIX.size  # 4
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,23 @@ def encode_udp_frame(
     )
     eth = _ETH_HEADER.pack(dst_mac, src_mac, ETHERTYPE_IPV4)
     return eth + ip + udp + payload
+
+
+def encode_sequenced_payload(sequence: int, payload: bytes) -> bytes:
+    """Prefix a market-data payload with its feed sequence number."""
+    if not 0 <= sequence <= 0xFFFFFFFF:
+        raise ProtocolError(f"sequence number out of range: {sequence}")
+    return _SEQ_PREFIX.pack(sequence) + payload
+
+
+def decode_sequenced_payload(payload: bytes) -> tuple[int, bytes]:
+    """Split a UDP payload into (sequence number, market-data bytes)."""
+    if len(payload) < SEQ_PREFIX_LEN:
+        raise ProtocolError(
+            f"payload too short for a sequence prefix: {len(payload)} bytes"
+        )
+    (sequence,) = _SEQ_PREFIX.unpack_from(payload, 0)
+    return sequence, payload[SEQ_PREFIX_LEN:]
 
 
 def decode_udp_frame(frame: bytes) -> tuple[FrameInfo, bytes]:

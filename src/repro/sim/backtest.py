@@ -22,12 +22,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import paperdata
-from repro.accelerator.device import AcceleratorCluster
+from repro.accelerator.device import AcceleratorCluster, fastest_capped
 from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
 from repro.baselines.profiles import LightTraderProfile, SystemProfile
 from repro.core.dvfs import DVFSScheduler
 from repro.core.scheduler import WorkloadScheduler
 from repro.errors import SimulationError
+from repro.faults.injector import DUPLICATE, STALLED, FaultInjector
+from repro.faults.plan import (
+    DEVICE_FAILURE,
+    DEVICE_RECOVERY,
+    DMA_STALL,
+    QUERY_CORRUPTION,
+    THERMAL_RELEASE,
+    THERMAL_THROTTLE,
+    FaultEvent,
+    FaultPlan,
+)
 from repro.pipeline.offload import OffloadEngine, Query
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, RunResult
@@ -86,6 +97,7 @@ class _Pending:
     metrics: MetricsCollector
     telemetry: Telemetry | None = None
     in_flight: dict[int, list[Query]] = field(default_factory=dict)
+    injector: FaultInjector | None = None
 
 
 class Backtester:
@@ -97,11 +109,16 @@ class Backtester:
         profile: SystemProfile,
         config: SimConfig | None = None,
         telemetry: Telemetry | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.workload = workload
         self.profile = profile
         self.config = config or SimConfig()
         self.telemetry = telemetry
+        # An empty plan normalises to "no injection" so the fault-free
+        # run stays bit-transparent: every fault branch below is guarded
+        # by ``injector is not None``.
+        self.faults = faults if faults is not None and not faults.empty else None
         self._is_lighttrader = isinstance(profile, LightTraderProfile)
         self.last_metrics: MetricsCollector | None = None
 
@@ -132,16 +149,30 @@ class Backtester:
                 n_accelerators=config.n_accelerators,
                 power_condition=config.power_condition,
             )
+        injector = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults,
+                config.n_accelerators,
+                log=telemetry.decisions if telemetry is not None else None,
+            )
         state = _Pending(
             offload=OffloadEngine(window=1, max_pending=config.max_pending),
             metrics=metrics,
             telemetry=telemetry,
+            injector=injector,
         )
         queue = EventQueue()
         pre_ns = self.profile.stages.pre_inference_ns
         for index in range(len(self.workload)):
             ts = int(self.workload.timestamps[index])
-            queue.push(ts + pre_ns, EventKind.ARRIVAL, index)
+            if injector is None:
+                queue.push(ts + pre_ns, EventKind.ARRIVAL, index)
+            else:
+                for t in injector.arrival_times(index, ts + pre_ns):
+                    queue.push(t, EventKind.ARRIVAL, index)
+        if injector is not None:
+            injector.schedule(queue)
 
         if self._is_lighttrader:
             self._run_lighttrader(queue, state)
@@ -203,6 +234,13 @@ class Backtester:
         min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
 
         post_slack_ns = profile.stages.post_inference_ns
+        injector = state.injector
+
+        def capped(point: OperatingPoint, device) -> OperatingPoint:
+            """Clamp a chosen point to the device's thermal cap, if any."""
+            if device.cap_hz is not None and point.freq_hz > device.cap_hz + 1e-3:
+                return fastest_capped(dynamic_table, device.cap_hz)
+            return point
 
         def decide_for(device, now: int, deadline: int):
             """One scheduling decision for an idle device, or None to drop."""
@@ -224,6 +262,7 @@ class Backtester:
                     deadlines,
                     budget,
                     floor_freq_hz=static_point.freq_hz,
+                    cap_freq_hz=device.cap_hz,
                 )
             if ds is not None:
                 # DVFS scheduling without batching: fastest point that the
@@ -240,8 +279,12 @@ class Backtester:
                     )
                 if point is None:
                     point = static_point  # worst-case-safe fallback
-                return ws.static_decision(config.model, point, now, deadline)
-            return ws.static_decision(config.model, static_point, now, deadline)
+                return ws.static_decision(
+                    config.model, capped(point, device), now, deadline
+                )
+            return ws.static_decision(
+                config.model, capped(static_point, device), now, deadline
+            )
 
         def try_schedule(now: int) -> None:
             self._drop_stale(state, now)
@@ -293,10 +336,139 @@ class Backtester:
                     for device in cluster.busy_devices(now):
                         queue.push(device.busy_until, EventKind.COMPLETION, device.accel_id)
 
+        def surrender_batch(batch: "list[Query]", now: int, reason: str) -> tuple[int, int]:
+            """Requeue a surrendered batch's live queries; drop the dead ones.
+
+            A query is still live while its original deadline has not
+            passed (``deadline > now``; negative deadlines never expire) —
+            re-issue competes against the *original* deadline, never a
+            fresh one.
+            """
+            alive = [q for q in batch if q.deadline < 0 or q.deadline > now]
+            dead = [q for q in batch if not (q.deadline < 0 or q.deadline > now)]
+            for query in alive:
+                query.issue_time = None
+            state.offload.requeue_front(alive)
+            for victim in dead:
+                victim.dropped = True
+                victim.drop_reason = reason
+                self._record_drop(state, victim, now)
+            return len(alive), len(dead)
+
+        def handle_fault(now: int, event: FaultEvent) -> None:
+            assert injector is not None
+            device = (
+                cluster.devices[event.accel_id] if event.accel_id >= 0 else None
+            )
+            if event.kind == DEVICE_FAILURE:
+                assert device is not None
+                if not device.healthy:
+                    return  # already quarantined by an earlier fault
+                device.fail(now)
+                injector.corrupted.discard(device.accel_id)
+                batch = state.in_flight.pop(device.accel_id, [])
+                requeued, dropped = surrender_batch(batch, now, "device_failure")
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now,
+                        DEVICE_FAILURE,
+                        accel_id=device.accel_id,
+                        requeued=requeued,
+                        dropped=dropped,
+                        survivors=cluster.n_healthy,
+                    )
+                if event.duration_ns > 0:
+                    queue.push(
+                        now + event.duration_ns,
+                        EventKind.FAULT,
+                        FaultEvent(
+                            t_ns=now + event.duration_ns,
+                            kind=DEVICE_RECOVERY,
+                            accel_id=device.accel_id,
+                        ),
+                    )
+            elif event.kind == DEVICE_RECOVERY:
+                assert device is not None
+                if device.healthy:
+                    return
+                device.recover(now, static_point)  # recover() clamps to any cap
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now,
+                        DEVICE_RECOVERY,
+                        accel_id=device.accel_id,
+                        survivors=cluster.n_healthy,
+                    )
+            elif event.kind == QUERY_CORRUPTION:
+                assert device is not None
+                if device.healthy and device.current is not None:
+                    injector.corrupted.add(device.accel_id)
+                    if decision_log is not None:
+                        decision_log.record_fault(
+                            now, QUERY_CORRUPTION, accel_id=device.accel_id
+                        )
+            elif event.kind == THERMAL_THROTTLE:
+                assert device is not None
+                cap = max(event.cap_hz, dynamic_table.min_point.freq_hz)
+                device.throttle(cap)
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now,
+                        THERMAL_THROTTLE,
+                        accel_id=device.accel_id,
+                        cap_ghz=round(cap / 1e9, 3),
+                    )
+                if device.healthy and device.point.freq_hz > cap + 1e-3:
+                    target = fastest_capped(dynamic_table, cap)
+                    if device.is_idle(now):
+                        ready = device.set_point(target, now, reason="thermal_throttle")
+                        queue.push(ready, EventKind.RETRY, None)
+                    else:
+                        remaining = device.busy_until - now
+                        stretched = round(
+                            remaining * device.point.freq_hz / target.freq_hz
+                        )
+                        device.rescale_inflight(now, target, stretched)
+                        queue.push(
+                            device.busy_until, EventKind.COMPLETION, device.accel_id
+                        )
+                if event.duration_ns > 0:
+                    queue.push(
+                        now + event.duration_ns,
+                        EventKind.FAULT,
+                        FaultEvent(
+                            t_ns=now + event.duration_ns,
+                            kind=THERMAL_RELEASE,
+                            accel_id=device.accel_id,
+                        ),
+                    )
+            elif event.kind == THERMAL_RELEASE:
+                assert device is not None
+                if device.cap_hz is not None:
+                    device.release_throttle()
+                    if decision_log is not None:
+                        decision_log.record_fault(
+                            now, THERMAL_RELEASE, accel_id=device.accel_id
+                        )
+            elif event.kind == DMA_STALL:
+                injector.begin_stall(now, event.duration_ns)
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now, DMA_STALL, duration_ns=event.duration_ns
+                    )
+
         post_ns = self.profile.stages.post_inference_ns
         while len(queue):
             now, kind, payload = queue.pop()
             if kind is EventKind.ARRIVAL:
+                if injector is not None:
+                    verdict = injector.on_arrival(payload, now)
+                    if verdict == STALLED:
+                        # DMA stall window: defer admission to its end.
+                        queue.push(injector.stall_until, EventKind.ARRIVAL, payload)
+                        continue
+                    if verdict == DUPLICATE:
+                        continue  # second copy of a duplicated packet
                 self._ingest(state, payload, now)
                 try_schedule(now)
             elif kind is EventKind.COMPLETION:
@@ -308,6 +480,21 @@ class Backtester:
                     continue  # batch was stretched by the power-save step
                 device.finish(now)
                 batch = state.in_flight.pop(device.accel_id, [])
+                if injector is not None and device.accel_id in injector.corrupted:
+                    # The batch returned garbage: never score it; re-issue
+                    # whatever can still meet its original deadline.
+                    injector.corrupted.discard(device.accel_id)
+                    requeued, dropped = surrender_batch(batch, now, "corrupt_result")
+                    if decision_log is not None:
+                        decision_log.record_fault(
+                            now,
+                            "corrupt_result",
+                            accel_id=device.accel_id,
+                            requeued=requeued,
+                            dropped=dropped,
+                        )
+                    try_schedule(now)
+                    continue
                 for query in batch:
                     query.completion_time = now + post_ns
                     state.metrics.record_completion(
@@ -326,6 +513,9 @@ class Backtester:
                                 accel_id=device.accel_id,
                             )
                         )
+                try_schedule(now)
+            elif kind is EventKind.FAULT:
+                handle_fault(now, payload)
                 try_schedule(now)
             else:  # RETRY
                 try_schedule(now)
@@ -349,8 +539,12 @@ class Backtester:
     def _run_fixed_system(self, queue: EventQueue, state: _Pending) -> None:
         config = self.config
         telemetry = state.telemetry
+        decision_log = telemetry.decisions if telemetry is not None else None
+        injector = state.injector
         busy_until = [0] * config.n_accelerators
         in_flight: dict[int, Query] = {}
+        failed: set[int] = set()  # servers quarantined by a hard fault
+        corrupt: set[int] = set()  # servers whose in-flight result is garbage
         post_ns = self.profile.stages.post_inference_ns
         t_total = self.profile.t_total_ns(config.model, None, 1)
         trans_ns = self.profile.t_trans_ns(1)
@@ -358,7 +552,7 @@ class Backtester:
         def try_schedule(now: int) -> None:
             self._drop_stale(state, now)
             for server, free_at in enumerate(busy_until):
-                if free_at > now:
+                if free_at > now or server in failed:
                     continue
                 batch = state.offload.pop_batch(1)
                 if not batch:
@@ -369,25 +563,122 @@ class Backtester:
                 in_flight[server] = query
                 queue.push(busy_until[server], EventKind.COMPLETION, server)
 
+        def surrender(server: int, now: int, reason: str) -> None:
+            """Requeue or drop the query a faulted server was carrying."""
+            query = in_flight.pop(server, None)
+            if query is None:
+                return
+            if query.deadline < 0 or query.deadline > now:
+                query.issue_time = None
+                state.offload.requeue_front([query])
+            else:
+                query.dropped = True
+                query.drop_reason = reason
+                self._record_drop(state, query, now)
+
+        def handle_fault(now: int, event: FaultEvent) -> None:
+            assert injector is not None
+            if event.kind == DEVICE_FAILURE:
+                if event.accel_id in failed:
+                    return
+                failed.add(event.accel_id)
+                corrupt.discard(event.accel_id)
+                busy_until[event.accel_id] = now
+                surrender(event.accel_id, now, "device_failure")
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now,
+                        DEVICE_FAILURE,
+                        accel_id=event.accel_id,
+                        survivors=config.n_accelerators - len(failed),
+                    )
+                if event.duration_ns > 0:
+                    queue.push(
+                        now + event.duration_ns,
+                        EventKind.FAULT,
+                        FaultEvent(
+                            t_ns=now + event.duration_ns,
+                            kind=DEVICE_RECOVERY,
+                            accel_id=event.accel_id,
+                        ),
+                    )
+            elif event.kind == DEVICE_RECOVERY:
+                if event.accel_id in failed:
+                    failed.discard(event.accel_id)
+                    busy_until[event.accel_id] = now
+                    if decision_log is not None:
+                        decision_log.record_fault(
+                            now,
+                            DEVICE_RECOVERY,
+                            accel_id=event.accel_id,
+                            survivors=config.n_accelerators - len(failed),
+                        )
+            elif event.kind == QUERY_CORRUPTION:
+                if event.accel_id in in_flight and event.accel_id not in failed:
+                    corrupt.add(event.accel_id)
+                    if decision_log is not None:
+                        decision_log.record_fault(
+                            now, QUERY_CORRUPTION, accel_id=event.accel_id
+                        )
+            elif event.kind == DMA_STALL:
+                injector.begin_stall(now, event.duration_ns)
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now, DMA_STALL, duration_ns=event.duration_ns
+                    )
+            # Thermal throttling is a no-op for fixed-frequency systems.
+
         while len(queue):
             now, kind, payload = queue.pop()
             if kind is EventKind.ARRIVAL:
+                if injector is not None:
+                    verdict = injector.on_arrival(payload, now)
+                    if verdict == STALLED:
+                        queue.push(injector.stall_until, EventKind.ARRIVAL, payload)
+                        continue
+                    if verdict == DUPLICATE:
+                        continue
                 self._ingest(state, payload, now)
             elif kind is EventKind.COMPLETION:
-                query = in_flight.pop(payload)
-                query.completion_time = now + post_ns
-                state.metrics.record_completion(query, query.completion_time, 1)
-                if telemetry is not None:
-                    telemetry.record_query(
-                        completed_query_trace(
-                            query,
-                            self.profile.stages,
-                            inference_done_ns=now,
-                            t_trans_ns=trans_ns,
-                            batch_size=1,
-                            accel_id=payload,
+                if busy_until[payload] > now:
+                    # Stale event: the server failed mid-flight and was
+                    # re-issued; the real completion is queued separately.
+                    pass
+                else:
+                    query = in_flight.pop(payload, None)
+                    if query is None:
+                        pass  # surrendered to a fault before completing
+                    elif injector is not None and payload in corrupt:
+                        corrupt.discard(payload)
+                        if query.deadline < 0 or query.deadline > now:
+                            query.issue_time = None
+                            state.offload.requeue_front([query])
+                        else:
+                            query.dropped = True
+                            query.drop_reason = "corrupt_result"
+                            self._record_drop(state, query, now)
+                        if decision_log is not None:
+                            decision_log.record_fault(
+                                now, "corrupt_result", accel_id=payload
+                            )
+                    else:
+                        query.completion_time = now + post_ns
+                        state.metrics.record_completion(
+                            query, query.completion_time, 1
                         )
-                    )
+                        if telemetry is not None:
+                            telemetry.record_query(
+                                completed_query_trace(
+                                    query,
+                                    self.profile.stages,
+                                    inference_done_ns=now,
+                                    t_trans_ns=trans_ns,
+                                    batch_size=1,
+                                    accel_id=payload,
+                                )
+                            )
+            elif kind is EventKind.FAULT:
+                handle_fault(now, payload)
             try_schedule(now)
             state.metrics.sample_power(now, self.profile.system_power_w)
             if telemetry is not None:

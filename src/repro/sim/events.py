@@ -18,12 +18,17 @@ class EventKind(enum.IntEnum):
     """Event types, ordered by processing priority at equal timestamps.
 
     Completions process before arrivals at the same instant so a device
-    freed at time t can serve a query arriving at t.
+    freed at time t can serve a query arriving at t.  Faults land after
+    completions and retries but before arrivals: a batch that finishes
+    at the very instant its device fails still counts (the result is
+    already on the wire), while a query arriving at the fault instant
+    sees the degraded cluster.
     """
 
     COMPLETION = 0
     RETRY = 1
-    ARRIVAL = 2
+    FAULT = 2
+    ARRIVAL = 3
 
 
 class EventQueue:

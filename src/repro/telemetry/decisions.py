@@ -55,7 +55,7 @@ class DecisionLog:
         self.writer = writer
         self.events: list[dict] | None = [] if keep_events else None
 
-    def emit(self, kind: str, **fields) -> dict:
+    def emit(self, kind: str, /, **fields) -> dict:
         """Record one event of ``kind`` (the low-level entry point)."""
         event = {"type": kind, **fields}
         if self.events is not None:
@@ -136,6 +136,21 @@ class DecisionLog:
             transitions=transitions,
             headroom_w=round(headroom_w, 3),
         )
+
+    # -- fault injection -------------------------------------------------------
+
+    def record_fault(
+        self, now: int, kind: str, accel_id: int | None = None, **fields
+    ) -> None:
+        """One fault-injection or recovery event (``kind`` is free-form:
+        a :mod:`repro.faults` fault kind, or a degradation action such as
+        ``requeue``/``drop``/``readmission``)."""
+        self.registry.counter(f"faults.{kind}").inc()
+        event = {"t_ns": now, "kind": kind}
+        if accel_id is not None:
+            event["accel_id"] = accel_id
+        event.update(fields)
+        self.emit("fault", **event)
 
     # -- device-level DVFS + power rail ---------------------------------------
 

@@ -167,6 +167,38 @@ def _scheduler_summary(events: list[dict]) -> str | None:
     return "\n".join(lines)
 
 
+def _fault_summary(events: list[dict]) -> str | None:
+    """Fault-injection digest: what was planned, what bit, what recovered."""
+    faults = [e for e in events if e["type"] == "fault"]
+    if not faults:
+        return None
+    plan = next((e for e in faults if e["kind"] == "plan"), None)
+    kinds: dict[str, int] = {}
+    for event in faults:
+        if event["kind"] == "plan":
+            continue
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    requeued = sum(e.get("requeued", 0) for e in faults)
+    dropped = sum(e.get("dropped", 0) for e in faults)
+    lines = []
+    if plan is not None:
+        planned = {k: v for k, v in plan.items() if k not in ("type", "t_ns", "kind")}
+        lines.append(
+            "fault plan: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(planned.items()))
+        )
+    if kinds:
+        lines.append(
+            "faults observed: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        )
+    lines.append(
+        f"degradation: {requeued} in-flight queries re-issued, "
+        f"{dropped} surrendered past their deadline"
+    )
+    return "\n".join(lines)
+
+
 def render_report(path: str | Path) -> str:
     """The full text report for one JSONL trace file."""
     events = read_events(path)
@@ -184,6 +216,9 @@ def render_report(path: str | Path) -> str:
     scheduler = _scheduler_summary(events)
     if scheduler:
         parts.append(scheduler)
+    faults = _fault_summary(events)
+    if faults:
+        parts.append(faults)
     return "\n".join(parts)
 
 

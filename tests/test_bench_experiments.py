@@ -109,3 +109,53 @@ class TestRenderTable:
         text = render_table("T", ["v"], [[0.123456], [12345.678]])
         assert "0.123" in text
         assert "12,346" in text
+
+
+class TestDegradation:
+    def test_structure_and_determinism(self):
+        from repro.bench.experiments import run_degradation
+
+        kwargs = dict(
+            duration_s=2.0,
+            n_accelerators=2,
+            fault_rates=(0.0, 2.0),
+            schemes=("baseline", "ws+ds"),
+        )
+        first = run_degradation(**kwargs)
+        second = run_degradation(**kwargs)
+        assert first.failures == 0
+        assert set(first.miss) == {"baseline", "ws+ds"}
+        for scheme in first.miss:
+            assert set(first.miss[scheme]) == {0.0, 2.0}
+        assert first.miss == second.miss
+        assert first.pnl == second.pnl
+        assert "Degradation" in first.table()
+
+    def test_zero_rate_plan_is_none(self):
+        from repro.bench.experiments import degradation_plan
+
+        assert degradation_plan(5.0, 4, 100, 0.0, seed=1) is None
+        plan = degradation_plan(5.0, 4, 100, 2.0, seed=1)
+        assert plan is not None and not plan.empty
+
+    def test_pnl_proxy_counts(self):
+        from repro.bench.experiments import pnl_proxy
+        from repro.sim.metrics import RunResult
+
+        result = RunResult(
+            system="lighttrader",
+            model="deeplob",
+            n_queries=10,
+            responded=8,
+            completed_late=1,
+            dropped=1,
+            mean_latency_us=10.0,
+            p50_latency_us=10.0,
+            p99_latency_us=20.0,
+            mean_batch_size=1.0,
+            mean_power_w=5.0,
+            peak_power_w=7.0,
+            energy_j=1.0,
+            duration_s=2.0,
+        )
+        assert pnl_proxy(result) == 8 * 1.0 - 2 * 0.5

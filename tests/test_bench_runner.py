@@ -82,3 +82,86 @@ def test_trace_dir_routes_per_run(tmp_path):
     traces = list(tmp_path.glob("*.jsonl"))
     assert len(traces) == 1
     assert spec.run_name in traces[0].name
+
+
+def test_default_retries_env(monkeypatch):
+    from repro.bench.runner import BENCH_RETRIES_ENV, default_retries
+
+    monkeypatch.delenv(BENCH_RETRIES_ENV, raising=False)
+    assert default_retries() == 1
+    monkeypatch.setenv(BENCH_RETRIES_ENV, "3")
+    assert default_retries() == 3
+    monkeypatch.setenv(BENCH_RETRIES_ENV, "-2")
+    assert default_retries() == 0  # clamped
+    monkeypatch.setenv(BENCH_RETRIES_ENV, "lots")
+    with pytest.raises(SimulationError):
+        default_retries()
+
+
+def test_worker_crash_retried_transparently(tmp_path, monkeypatch):
+    """One worker dies mid-grid; the retry pool recovers every result."""
+    from repro.bench.runner import BENCH_CRASH_FILE_ENV
+
+    specs = _grid()
+    crash_file = tmp_path / "crash"
+    crash_file.write_text(specs[2].run_name)
+    monkeypatch.setenv(BENCH_CRASH_FILE_ENV, str(crash_file))
+    survived = run_many(specs, jobs=2, retries=1)
+    assert not crash_file.exists()  # the hook fired exactly once
+    monkeypatch.delenv(BENCH_CRASH_FILE_ENV)
+    clean = run_many(specs, jobs=1)
+    for left, right in zip(survived, clean):
+        assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+
+def test_worker_crash_without_retries_yields_runfailure(tmp_path, monkeypatch):
+    from repro.bench.runner import BENCH_CRASH_FILE_ENV, RunFailure
+
+    specs = _grid()
+    doomed = 1
+    # Re-arm the crash file before every attempt at the doomed spec: with
+    # retries=0 the single attempt fails and must produce a placeholder.
+    crash_file = tmp_path / "crash"
+    crash_file.write_text(specs[doomed].run_name)
+    monkeypatch.setenv(BENCH_CRASH_FILE_ENV, str(crash_file))
+    results = run_many(specs, jobs=2, retries=0)
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    assert failures  # at least the doomed spec (pool-mates may ride along)
+    assert any(f.spec_index == doomed for f in failures)
+    for failure in failures:
+        assert not failure  # falsy: filter() idioms skip it
+        assert results[failure.spec_index] is failure  # order preserved
+        assert "worker process died" in failure.error
+    # Specs finished before the crash keep their real results.
+    clean = run_many(specs, jobs=1)
+    for index, result in enumerate(results):
+        if not isinstance(result, RunFailure):
+            assert dataclasses.asdict(result) == dataclasses.asdict(clean[index])
+
+
+def test_ordinary_exception_still_propagates():
+    specs = _grid()[:2]
+    bad = dataclasses.replace(
+        specs[1],
+        workload=WorkloadSpec(duration_s=DURATION, seed=3, name="runner-test"),
+        config=SimConfig(model="no_such_model", n_accelerators=2),
+    )
+    with pytest.raises(Exception):
+        run_many([specs[0], bad], jobs=2)
+
+
+def test_fault_plan_travels_to_workers():
+    from repro.faults import FaultEvent, FaultPlan, DEVICE_FAILURE
+    from repro.units import sec_to_ns
+
+    plan = FaultPlan(
+        events=(
+            FaultEvent(t_ns=sec_to_ns(0.5), kind=DEVICE_FAILURE, accel_id=0),
+        )
+    )
+    specs = _grid()[:2]
+    faulted = [dataclasses.replace(spec, faults=plan) for spec in specs]
+    parallel = run_many(faulted, jobs=2)
+    serial = run_many(faulted, jobs=1)
+    for left, right in zip(parallel, serial):
+        assert dataclasses.asdict(left) == dataclasses.asdict(right)

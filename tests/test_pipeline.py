@@ -279,3 +279,151 @@ class TestFeedHandlerIntegration:
                 query = offload.on_tick(snap, i, i + 1000) or query
         assert query is not None
         assert query.tensor.shape == (2, 40)
+
+
+class TestSequencedFeed:
+    """Feed loss/reorder/duplication: gap detection and snapshot resync."""
+
+    @staticmethod
+    def _handler():
+        directory = SecurityDirectory()
+        directory.register("ESU6")
+        return FeedHandler(PacketParser(directory)), directory
+
+    @staticmethod
+    def _frame(directory, sequence, events, ts):
+        from repro.protocol.framing import encode_sequenced_payload
+
+        return encode_udp_frame(
+            encode_sequenced_payload(
+                sequence, encode_market_events(events, directory, ts)
+            )
+        )
+
+    def _update(self, i, price=18_000, side=Side.BID, volume=5):
+        return BookUpdate("ESU6", i, UpdateAction.NEW, side, price, volume, i)
+
+    def test_in_order_stream_emits_snapshots(self):
+        handler, directory = self._handler()
+        for sequence in range(3):
+            frame = self._frame(
+                directory,
+                sequence,
+                [self._update(sequence, price=18_000 - sequence)],
+                sequence,
+            )
+            assert handler.on_sequenced_frame(frame)
+        assert handler.sequence.gaps == 0
+        assert handler.sequence.lost_packets == 0
+
+    def test_duplicate_suppressed(self):
+        handler, directory = self._handler()
+        frame = self._frame(directory, 0, [self._update(0)], 0)
+        assert handler.on_sequenced_frame(frame)
+        # The same datagram again: dropped before touching the mirror.
+        assert handler.on_sequenced_frame(frame) == []
+        assert handler.sequence.duplicates == 1
+        assert handler.suppressed_duplicates == 1
+        assert handler.mirror("ESU6").book.bids.level_at(18_000).volume == 5
+
+    def test_gap_marks_mirror_stale_and_withholds_snapshots(self):
+        handler, directory = self._handler()
+        handler.on_sequenced_frame(self._frame(directory, 0, [self._update(0)], 0))
+        # Sequence 1 is lost; 2 arrives.
+        snapshots = handler.on_sequenced_frame(
+            self._frame(directory, 2, [self._update(2, price=17_999)], 2)
+        )
+        assert snapshots == []  # stale mirror: no model input from it
+        assert handler.sequence.gaps == 1
+        assert handler.sequence.lost_packets == 1
+        mirror = handler.mirror("ESU6")
+        assert mirror.stale
+        # Updates still applied (freshest data beats none).
+        assert mirror.book.bids.level_at(17_999).volume == 5
+
+    def test_resync_from_snapshot_channel(self):
+        handler, directory = self._handler()
+        handler.on_sequenced_frame(self._frame(directory, 0, [self._update(0)], 0))
+        handler.on_sequenced_frame(
+            self._frame(directory, 5, [self._update(5, price=17_998)], 5)
+        )
+        assert handler.mirror("ESU6").stale
+        authoritative = DepthSnapshot(
+            symbol="ESU6",
+            timestamp=6,
+            depth=10,
+            bids=((18_000, 9), (17_999, 2)),
+            asks=((18_002, 4),),
+            last_trade_price=18_001,
+            last_trade_quantity=3,
+        )
+        handler.on_snapshot("ESU6", authoritative)
+        mirror = handler.mirror("ESU6")
+        assert not mirror.stale
+        assert mirror.book.bids.level_at(18_000).volume == 9
+        assert mirror.book.asks.level_at(18_002).volume == 4
+        assert mirror.last_trade_price == 18_001
+        # Post-resync frames emit snapshots again.
+        emitted = handler.on_sequenced_frame(
+            self._frame(directory, 6, [self._update(6, price=17_997)], 6)
+        )
+        assert len(emitted) == 1
+        assert emitted[0].best_bid == 18_000
+
+    def test_resynced_mirror_keeps_applying_incrementals(self):
+        mirror = LocalBookMirror("ESU6")
+        mirror.invalidate()
+        snap = DepthSnapshot(
+            symbol="ESU6",
+            timestamp=1,
+            depth=10,
+            bids=((18_000, 5),),
+            asks=((18_002, 4),),
+        )
+        mirror.resync(snap)
+        mirror.apply(
+            BookUpdate("ESU6", 2, UpdateAction.CHANGE, Side.BID, 18_000, 8, 2)
+        )
+        assert mirror.book.bids.level_at(18_000).volume == 8
+
+
+class TestSequenceTracker:
+    def test_verdict_sequence(self):
+        from repro.pipeline.feed_handler import (
+            SEQ_DUPLICATE,
+            SEQ_FIRST,
+            SEQ_GAP,
+            SEQ_OK,
+            SequenceTracker,
+        )
+
+        tracker = SequenceTracker()
+        assert tracker.observe(10) == SEQ_FIRST
+        assert tracker.observe(11) == SEQ_OK
+        assert tracker.observe(11) == SEQ_DUPLICATE
+        assert tracker.observe(14) == SEQ_GAP
+        assert tracker.lost_packets == 2  # 12 and 13
+        assert tracker.observe(15) == SEQ_OK
+
+
+class TestCorruptVectorRejection:
+    def test_non_finite_vector_refused_at_ingest(self):
+        engine = OffloadEngine(window=2, store_tensors=True)
+        bad = DepthSnapshot(
+            symbol="ESU6",
+            timestamp=0,
+            depth=10,
+            bids=((float("nan"), 5),),  # corrupt price off the wire
+            asks=((18_002, 4),),
+        )
+        assert engine.on_tick(bad, 0, 1_000) is None
+        assert engine.rejected_corrupt == 1
+        assert len(engine._fifo) == 0  # nothing contaminated the FIFO
+
+    def test_finite_vectors_unaffected(self):
+        engine = OffloadEngine(window=2, store_tensors=True)
+        assert engine.on_tick(snapshot(ts=0), 0, 1_000) is None  # warm-up
+        query = engine.on_tick(snapshot(ts=1), 1, 1_001)
+        assert query is not None
+        assert engine.rejected_corrupt == 0
+        assert np.isfinite(query.tensor).all()

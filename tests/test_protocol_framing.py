@@ -76,3 +76,40 @@ class TestChecksum:
 
     def test_odd_length_padding(self):
         assert isinstance(ipv4_checksum(b"\x01\x02\x03"), int)
+
+
+class TestSequencedPayload:
+    def test_roundtrip(self):
+        from repro.protocol.framing import (
+            decode_sequenced_payload,
+            encode_sequenced_payload,
+        )
+
+        body = b"market data bytes"
+        for sequence in (0, 1, 7_842, 0xFFFFFFFF):
+            payload = encode_sequenced_payload(sequence, body)
+            assert decode_sequenced_payload(payload) == (sequence, body)
+
+    def test_out_of_range_sequence_rejected(self):
+        from repro.protocol.framing import encode_sequenced_payload
+
+        with pytest.raises(ProtocolError):
+            encode_sequenced_payload(-1, b"x")
+        with pytest.raises(ProtocolError):
+            encode_sequenced_payload(0x1_0000_0000, b"x")
+
+    def test_truncated_payload_rejected(self):
+        from repro.protocol.framing import decode_sequenced_payload
+
+        with pytest.raises(ProtocolError):
+            decode_sequenced_payload(b"\x00\x01")
+
+    def test_rides_inside_udp_frame(self):
+        from repro.protocol.framing import (
+            decode_sequenced_payload,
+            encode_sequenced_payload,
+        )
+
+        frame = encode_udp_frame(encode_sequenced_payload(42, b"body"))
+        __, payload = decode_udp_frame(frame)
+        assert decode_sequenced_payload(payload) == (42, b"body")

@@ -35,6 +35,17 @@ class TestEventQueue:
         queue.push(10, EventKind.COMPLETION, "completion")
         assert queue.pop()[2] == "completion"
 
+    def test_fault_tiebreak_between_completion_and_arrival(self):
+        # A batch finishing at the fault instant still counts; an arrival
+        # at the fault instant already sees the degraded cluster.
+        queue = EventQueue()
+        queue.push(10, EventKind.ARRIVAL, "arrival")
+        queue.push(10, EventKind.FAULT, "fault")
+        queue.push(10, EventKind.COMPLETION, "completion")
+        queue.push(10, EventKind.RETRY, "retry")
+        order = [queue.pop()[2] for __ in range(4)]
+        assert order == ["completion", "retry", "fault", "arrival"]
+
     def test_insertion_order_tiebreak(self):
         queue = EventQueue()
         queue.push(10, EventKind.ARRIVAL, 1)

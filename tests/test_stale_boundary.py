@@ -1,0 +1,93 @@
+"""Regression tests pinning the repo-wide deadline boundary convention.
+
+The convention, stated once and enforced everywhere:
+
+- a query still pending when ``now == deadline`` is **stale** (inference
+  takes strictly positive time, so it can no longer finish in time),
+- a completion landing exactly at the deadline is **in time**,
+- issue feasibility is ``now + fastest <= deadline``.
+
+These tests exist so a future refactor cannot silently flip any ``<=``
+to ``<`` (or vice versa) in one layer without the others noticing.
+"""
+
+from repro.accelerator.power import DVFSTable
+from repro.baselines.profiles import lighttrader_profile
+from repro.core.scheduler import WorkloadScheduler
+from repro.pipeline.offload import OffloadEngine, Query
+
+
+def _query(query_id: int, deadline: int) -> Query:
+    return Query(query_id=query_id, tick_index=query_id, arrival=0, deadline=deadline)
+
+
+def _engine_with(*queries: Query) -> OffloadEngine:
+    engine = OffloadEngine(window=1, store_tensors=False)
+    for query in queries:
+        engine.admit(query)
+    return engine
+
+
+class TestOffloadDropStale:
+    def test_deadline_equal_now_is_stale(self):
+        engine = _engine_with(_query(0, deadline=100))
+        dropped = engine.drop_stale(100)
+        assert [q.query_id for q in dropped] == [0]
+        assert dropped[0].drop_reason == "stale"
+        assert engine.pending_count() == 0
+
+    def test_deadline_one_past_now_survives(self):
+        engine = _engine_with(_query(0, deadline=101))
+        assert engine.drop_stale(100) == []
+        assert engine.pending_count() == 1
+
+    def test_mixed_boundary(self):
+        engine = _engine_with(
+            _query(0, deadline=99), _query(1, deadline=100), _query(2, deadline=101)
+        )
+        dropped = engine.drop_stale(100)
+        assert sorted(q.query_id for q in dropped) == [0, 1]
+        assert engine.pending_count() == 1
+
+    def test_requeue_front_restores_scan_bound(self):
+        # A re-issued query with an earlier deadline than anything pending
+        # must lower the stale-scan bound, or drop_stale would skip it.
+        engine = _engine_with(_query(0, deadline=1_000))
+        engine.drop_stale(500)  # raises the internal bound to 1_000
+        surrendered = _query(1, deadline=600)
+        engine.requeue_front([surrendered])
+        dropped = engine.drop_stale(600)
+        assert [q.query_id for q in dropped] == [1]
+        assert engine.pending_count() == 1
+
+    def test_requeue_front_preserves_order(self):
+        engine = _engine_with(_query(2, deadline=900))
+        engine.requeue_front([_query(0, deadline=800), _query(1, deadline=850)])
+        dropped = engine.drop_stale(10_000)
+        assert [q.query_id for q in dropped] == [0, 1, 2]
+
+
+class TestCompletionBoundary:
+    def test_completion_at_deadline_in_time(self):
+        query = _query(0, deadline=100)
+        query.completion_time = 100
+        assert query.in_time()
+
+    def test_completion_past_deadline_late(self):
+        query = _query(0, deadline=100)
+        query.completion_time = 101
+        assert not query.in_time()
+
+
+class TestFeasibilityBoundary:
+    def test_feasible_exactly_at_deadline(self):
+        profile = lighttrader_profile()
+        scheduler = WorkloadScheduler(profile, DVFSTable(cap_hz=2.2e9))
+        now = 1_000_000
+        fastest = profile.t_total_ns(
+            "deeplob", scheduler.table.max_point, 1
+        )
+        assert scheduler.deadline_feasible("deeplob", now, now + fastest)
+        assert not scheduler.deadline_feasible("deeplob", now, now + fastest - 1)
+        # And the stale rule's contrapositive: deadline == now is hopeless.
+        assert not scheduler.deadline_feasible("deeplob", now, now)

@@ -141,3 +141,34 @@ def test_vectorized_falls_back_without_grid_support(profile):
     decision = bare.decide("deeplob", NOW, [NOW + 3_000_000], 55.0)
     assert decision == full.decide("deeplob", NOW, [NOW + 3_000_000], 55.0)
     assert decision is not None
+
+
+def test_thermal_cap_parity(profile):
+    """cap_freq_hz (thermal throttling) prunes both paths identically."""
+    table = DVFSTable(cap_hz=2.2e9)
+    vec_log, ref_log = DecisionLog(), DecisionLog()
+    vec = WorkloadScheduler(profile, table, log=vec_log, vectorized=True)
+    ref = WorkloadScheduler(profile, table, log=ref_log, vectorized=False)
+    rng = np.random.default_rng(77)
+    committed_below_cap = 0
+    for trial in range(120):
+        deadlines, budget, floor = _random_case(rng)
+        cap = float(rng.choice([0.6e9, 1.0e9, 1.4e9, 2.0e9]))
+        got = vec.decide("deeplob", NOW, deadlines, budget, floor, cap_freq_hz=cap)
+        want = ref.decide("deeplob", NOW, deadlines, budget, floor, cap_freq_hz=cap)
+        assert got == want, f"trial {trial}: cap={cap}: {got} != {want}"
+        if got is not None:
+            assert got.point.freq_hz <= cap + 1e-3
+            committed_below_cap += 1
+    assert committed_below_cap > 10
+    assert vec_log.events == ref_log.events
+
+
+def test_cap_below_every_point_yields_none(profile):
+    table = DVFSTable(cap_hz=2.2e9)
+    for vectorized in (True, False):
+        scheduler = WorkloadScheduler(profile, table, vectorized=vectorized)
+        decision = scheduler.decide(
+            "deeplob", NOW, [NOW + 5_000_000], 55.0, cap_freq_hz=1.0
+        )
+        assert decision is None
