@@ -60,6 +60,12 @@ class Accelerator:
         self.healthy = True
         self.failures = 0
         self.cap_hz: float | None = None
+        # Monotone state epoch: bumped on every mutation that can change
+        # scheduling-visible state (point, busy window, health, cap).
+        # The fast simulator loop sums device versions to detect whether
+        # anything changed since its last power sample / Algorithm-2
+        # redistribution pass, instead of re-deriving both per event.
+        self.state_version = 0
         # Telemetry hook: called as (now, accel_id, old_point, new_point,
         # reason) on every PMIC transition.  None = uninstrumented.
         self.on_transition = None
@@ -100,6 +106,7 @@ class Accelerator:
             self.on_transition(now, self.accel_id, self.point, point, reason)
         self.point = point
         self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
+        self.state_version += 1
         return self.available_at
 
     # -- health (fault injection) ----------------------------------------------
@@ -120,6 +127,7 @@ class Accelerator:
         self.current = None
         self.busy_until = now
         self.available_at = now
+        self.state_version += 1
         return record
 
     def recover(self, now: int, point: OperatingPoint | None = None) -> None:
@@ -139,6 +147,7 @@ class Accelerator:
         self.point = target
         self.busy_until = now
         self.available_at = max(self.available_at, now + DVFS_SWITCH_NS)
+        self.state_version += 1
 
     def throttle(self, cap_hz: float) -> None:
         """Impose a thermal frequency cap (enforced on future programming)."""
@@ -147,10 +156,12 @@ class Accelerator:
                 f"accel {self.accel_id}: thermal cap below the slowest DVFS point"
             )
         self.cap_hz = cap_hz
+        self.state_version += 1
 
     def release_throttle(self) -> None:
         """Lift the thermal cap (schedulers repoint at the next issue)."""
         self.cap_hz = None
+        self.state_version += 1
 
     def issue(
         self,
@@ -186,6 +197,7 @@ class Accelerator:
         )
         self.busy_until = record.completion_time
         self.current = record
+        self.state_version += 1
         return record
 
     def rescale_inflight(
@@ -223,6 +235,7 @@ class Accelerator:
         )
         self.current = record
         self.busy_until = record.completion_time
+        self.state_version += 1
         return record
 
     def finish(self, now: int) -> IssueRecord:
@@ -237,6 +250,7 @@ class Accelerator:
         record = self.current
         self.current = None
         self.completed += 1
+        self.state_version += 1
         return record
 
     def power_now(self, now: int) -> float:
@@ -319,7 +333,19 @@ class AcceleratorCluster:
 
     def total_power(self, now: int) -> float:
         """Instantaneous cluster draw."""
-        return sum(d.power_now(now) for d in self.devices)
+        # power_now inlined (same values, same left-to-right float order
+        # as sum()); this runs once per simulated event.  A failed device
+        # draws 0.0, which addition leaves bit-exact, so it is skipped.
+        total = 0.0
+        for device in self.devices:
+            if not device.healthy:
+                continue
+            current = device.current
+            if current is not None and now < current.completion_time:
+                total += current.power_w
+            else:
+                total += device.power_model.idle_power_w(device.point)
+        return total
 
     def headroom(self, now: int) -> float:
         """Unused budget at ``now`` (never negative by scheduler contract)."""

@@ -41,6 +41,41 @@ class DVFSScheduler:
     table: DVFSTable
     # Telemetry decision log; None keeps the hot path uninstrumented.
     log: "DecisionLog | None" = field(default=None, compare=False)
+    # Per-operating-point boost floor: once a batch's remaining time is at
+    # or below this, no faster table point can pass the switch-delay test
+    # (round(remaining·f/f') ≥ remaining − switch for every f' > f), so the
+    # device can be skipped without scanning the table.  The bound uses the
+    # uncapped fastest point, which only ever makes it conservative.
+    _boost_floor_ns: dict[float, float] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    # Faster table points per operating frequency, so the candidate scan
+    # starts where the table stops being slower than the device.
+    _faster: dict[float, tuple] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    # Exact power_w memo keyed (freq_hz, activity, batch): power_w is a
+    # pure function, so cached floats are bit-identical to recomputation.
+    _power_cache: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        fmax = max(point.freq_hz for point in self.table)
+        floors = {}
+        faster = {}
+        for point in self.table:
+            f = point.freq_hz
+            if f >= fmax:
+                floors[f] = float("inf")  # nothing faster exists
+            else:
+                # round(y) ≥ y − 0.5 makes the rejection certain whenever
+                # remaining ≤ (switch − 0.5)/(1 − f/fmax); the extra −0.5
+                # absorbs float rounding in the comparison itself.
+                floors[f] = (DVFS_SWITCH_NS - 1.0) / (1.0 - f / fmax)
+            faster[f] = tuple(p for p in self.table if p.freq_hz > f)
+        object.__setattr__(self, "_boost_floor_ns", floors)
+        object.__setattr__(self, "_faster", faster)
 
     # -- phase 1: save power --------------------------------------------------
 
@@ -124,13 +159,30 @@ class DVFSScheduler:
         """
         transitions = 0
         adjusted: set[int] = set()
+        floors = self._boost_floor_ns
         while True:
+            # Filter on the O(1) boost floor before paying for a headroom
+            # sum or a table scan: a device whose remaining time is under
+            # the floor cannot yield a candidate, so skipping it never
+            # changes the chosen transition.
+            scan = [
+                device
+                for device in cluster.devices
+                if device.healthy
+                and device.busy_until > now  # busy_devices(), inlined
+                and device.accel_id not in adjusted  # one transition per event
+                and device.busy_until - now > floors.get(device.point.freq_hz, 0.0)
+            ]
+            if not scan:
+                if transitions and self.log is not None:
+                    self.log.record_redistribute(
+                        now, transitions, cluster.headroom(now)
+                    )
+                return transitions
             headroom = cluster.headroom(now) - reserve_w
             best_gain = -float("inf")
             best: tuple[Accelerator, OperatingPoint, int, float] | None = None
-            for device in cluster.busy_devices(now):
-                if device.accel_id in adjusted:
-                    continue  # one transition per device per scheduling event
+            for device in scan:
                 candidate = self._speed_up_candidate(device, now, headroom)
                 if candidate is None:
                     continue
@@ -164,19 +216,25 @@ class DVFSScheduler:
         if remaining <= 0:
             return None
         best = None
-        for point in self.table:
-            if point.freq_hz <= device.point.freq_hz:
-                continue
+        freq = device.point.freq_hz
+        faster = self._faster.get(freq)
+        if faster is None:  # off-table point: fall back to a full filter
+            faster = tuple(p for p in self.table if p.freq_hz > freq)
+        cache = self._power_cache
+        for point in faster:
             if device.cap_hz is not None and point.freq_hz > device.cap_hz + 1e-3:
                 break  # thermally throttled: nothing faster is programmable
-            new_power = device.power_model.power_w(
-                point, record.activity, record.batch_size
-            )
-            if new_power - record.power_w > headroom:
-                continue
-            new_remaining = round(remaining * device.point.freq_hz / point.freq_hz)
+            new_remaining = round(remaining * freq / point.freq_hz)
             if DVFS_SWITCH_NS + new_remaining >= remaining:
                 continue  # the switch delay would eat the gain
+            key = (point.freq_hz, record.activity, record.batch_size)
+            new_power = cache.get(key)
+            if new_power is None:
+                new_power = cache[key] = device.power_model.power_w(
+                    point, record.activity, record.batch_size
+                )
+            if new_power - record.power_w > headroom:
+                continue
             old_total = record.completion_time - record.issue_time
             new_total = old_total - remaining + DVFS_SWITCH_NS + new_remaining
             gain = ppw_increase(

@@ -41,6 +41,12 @@ if TYPE_CHECKING:
 # Set to "1" to force the reference (golden-model) Algorithm-1 loop.
 SWEEP_REFERENCE_ENV = "REPRO_SWEEP_REFERENCE"
 
+# Decision-memo size cap: steady-state traffic produces a handful of
+# distinct (depth, floor, cap, budget) signatures, so hitting the cap
+# means the keys are churning (e.g. continuously-varying budgets) and
+# caching is not paying for itself — flush and start over.
+MEMO_MAX_ENTRIES = 4096
+
 
 def _vectorized_default() -> bool:
     return os.environ.get(SWEEP_REFERENCE_ENV, "").lower() not in ("1", "true", "yes")
@@ -84,6 +90,18 @@ class WorkloadScheduler:
     _grids: dict = field(default_factory=dict, compare=False, repr=False)
     # Per-model fastest batch-1 t_total_ns, for deadline_feasible().
     _fastest_ns: dict = field(default_factory=dict, compare=False, repr=False)
+    # Decision memo: (model, depth, floor, cap, budget) → (best, stats,
+    # floor_relaxed), valid only in the deadline-slack regime (see
+    # decide_memo).  Flushed by invalidate_memo() on fault/budget events.
+    _memo: dict = field(default_factory=dict, compare=False, repr=False)
+    # (model, cap) → memo validity horizon in ns (-1 = memo unavailable).
+    _horizons: dict = field(default_factory=dict, compare=False, repr=False)
+    # (model, point) → static batch-1 decision (pure, never invalidated).
+    _static: dict = field(default_factory=dict, compare=False, repr=False)
+    # Observability: {"hits": n, "misses": n} across the memo's lifetime.
+    memo_stats: dict = field(
+        default_factory=lambda: {"hits": 0, "misses": 0}, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -136,6 +154,23 @@ class WorkloadScheduler:
         """
         if not deadlines:
             raise SchedulingError("decide() called with no pending queries")
+        best, stats, floor_relaxed = self._decide_core(
+            model, now, deadlines, power_budget_w, floor_freq_hz, cap_freq_hz
+        )
+        if self.log is not None and stats is not None:
+            self._log_sweep(now, best, stats, floor_relaxed)
+        return best
+
+    def _decide_core(
+        self,
+        model: str,
+        now: int,
+        deadlines: "list[int]",
+        power_budget_w: float,
+        floor_freq_hz: float,
+        cap_freq_hz: "float | None",
+    ) -> "tuple[ScheduleDecision | None, dict | None, bool]":
+        """The decide() body minus logging: (best, stats, floor_relaxed)."""
         # t_avail per batch size: the tightest deadline inside the batch.
         tightest: list[int] = []
         running = deadlines[0]
@@ -156,17 +191,102 @@ class WorkloadScheduler:
             best = self._sweep(
                 model, now, tightest, power_budget_w, 0.0, cap_freq_hz, stats
             )
-        if self.log is not None and stats is not None:
-            self.log.record_sweep(
-                now,
-                considered=stats["considered"],
-                feasible=stats["feasible"],
-                rejected_deadline=stats["deadline"],
-                rejected_power=stats["power"],
-                chosen=best,
-                floor_relaxed=floor_relaxed,
-            )
-        return best
+        return best, stats, floor_relaxed
+
+    def _log_sweep(
+        self,
+        now: int,
+        best: "ScheduleDecision | None",
+        stats: "dict[str, int]",
+        floor_relaxed: bool,
+    ) -> None:
+        self.log.record_sweep(
+            now,
+            considered=stats["considered"],
+            feasible=stats["feasible"],
+            rejected_deadline=stats["deadline"],
+            rejected_power=stats["power"],
+            chosen=best,
+            floor_relaxed=floor_relaxed,
+        )
+
+    def decide_memo(
+        self,
+        model: str,
+        now: int,
+        deadlines: "list[int]",
+        power_budget_w: float,
+        floor_freq_hz: float = 0.0,
+        cap_freq_hz: float | None = None,
+    ) -> ScheduleDecision | None:
+        """Memoized :meth:`decide` — bit-identical results and decision-log
+        records, skipping even the vectorized sweep on steady-state hits.
+
+        Validity argument: every deadline check in the sweep is
+        ``now + t_total <= tightest[b]``.  When the *tightest* considered
+        deadline is at least ``max(t_total over the floor-relaxed,
+        cap-filtered grid)`` away, every such check passes regardless of
+        ``now``, so the sweep outcome (and its rejection counts) is a pure
+        function of (model, queue depth, floor, cap, budget) — the memo
+        key.  Outside that slack regime, or on the reference sweep path,
+        this falls back to a full :meth:`decide`.  Keys carry the *exact*
+        float budget: a reclaim-perturbed budget simply misses.
+        """
+        if not deadlines:
+            raise SchedulingError("decide() called with no pending queries")
+        horizon = self._memo_horizon(model, cap_freq_hz)
+        if horizon >= 0:
+            depth = min(len(deadlines), self.max_batch)
+            if now + horizon <= min(deadlines[:depth]):
+                key = (model, depth, floor_freq_hz, cap_freq_hz, power_budget_w)
+                cached = self._memo.get(key)
+                need_stats = self.log is not None
+                if cached is not None and (not need_stats or cached[1] is not None):
+                    best, stats, floor_relaxed = cached
+                    self.memo_stats["hits"] += 1
+                    if need_stats:
+                        self._log_sweep(now, best, stats, floor_relaxed)
+                    return best
+                self.memo_stats["misses"] += 1
+                best, stats, floor_relaxed = self._decide_core(
+                    model, now, deadlines, power_budget_w, floor_freq_hz, cap_freq_hz
+                )
+                if need_stats and stats is not None:
+                    self._log_sweep(now, best, stats, floor_relaxed)
+                if len(self._memo) >= MEMO_MAX_ENTRIES:
+                    self._memo.clear()
+                self._memo[key] = (best, stats, floor_relaxed)
+                return best
+        return self.decide(
+            model, now, deadlines, power_budget_w, floor_freq_hz, cap_freq_hz
+        )
+
+    def invalidate_memo(self) -> None:
+        """Flush the decision memo (fault / recovery / budget boundaries).
+
+        Memo keys are pure-function signatures, so entries never go
+        stale in the mathematical sense; flushing at cluster-state
+        discontinuities keeps the table bounded to the signatures of the
+        *current* regime and makes the invalidation contract explicit.
+        """
+        self._memo.clear()
+
+    def _memo_horizon(self, model: str, cap_freq_hz: "float | None") -> int:
+        """Memo validity horizon (ns) for (model, cap), or -1 when the
+        memo cannot be used (reference sweep path / no grid / empty cap
+        filter)."""
+        key = (model, cap_freq_hz)
+        horizon = self._horizons.get(key)
+        if horizon is None:
+            # Floor 0.0: the horizon must cover the floor-relaxed retry
+            # sweep, which considers every point at or under the cap.
+            tables = self._tables(model, 0.0, cap_freq_hz)
+            if tables is None or tables[1].size == 0:
+                horizon = -1
+            else:
+                horizon = int(tables[1].max())
+            self._horizons[key] = horizon
+        return horizon
 
     def _sweep(
         self,
@@ -343,14 +463,21 @@ class WorkloadScheduler:
 
         The baseline performs no feasibility analysis — it issues even
         queries that are doomed to miss (that throughput waste is exactly
-        what Algorithm 1 removes).
+        what Algorithm 1 removes).  The decision is a pure function of
+        (model, point) — ``now`` and ``oldest_deadline`` are part of the
+        call signature only for parallelism with :meth:`decide` — so it
+        is cached per (model, point).
         """
-        t_total = self.profile.t_total_ns(model, point, 1)
-        power = self.profile.power_w(model, point, 1)
-        return ScheduleDecision(
-            point=point,
-            batch_size=1,
-            t_total_ns=t_total,
-            power_w=power,
-            ppw=ppw(1, t_total, power),
-        )
+        decision = self._static.get((model, point))
+        if decision is None:
+            t_total = self.profile.t_total_ns(model, point, 1)
+            power = self.profile.power_w(model, point, 1)
+            decision = ScheduleDecision(
+                point=point,
+                batch_size=1,
+                t_total_ns=t_total,
+                power_w=power,
+                ppw=ppw(1, t_total, power),
+            )
+            self._static[(model, point)] = decision
+        return decision

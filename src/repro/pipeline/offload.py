@@ -240,6 +240,22 @@ class OffloadEngine:
         """
         if not self._pending or now < self._min_deadline_bound:
             return []  # every deadline is >= bound > now: nothing stale
+        # First pass: scan without rebuilding.  The bound is conservative
+        # (admissions past a still-live minimum don't raise it), so most
+        # scans past it still find nothing stale — tightening the bound
+        # to the true minimum is then the whole yield of the scan, and
+        # the deque survives untouched.
+        true_min = None
+        any_stale = False
+        for query in self._pending:
+            if query.deadline <= now:
+                any_stale = True
+                break
+            if true_min is None or query.deadline < true_min:
+                true_min = query.deadline
+        if not any_stale:
+            self._min_deadline_bound = true_min if true_min is not None else 0
+            return []
         dropped = []
         kept: deque[Query] = deque()
         kept_min = None
@@ -254,6 +270,337 @@ class OffloadEngine:
                     kept_min = query.deadline
                 kept.append(query)
         self._pending = kept
+        self._min_deadline_bound = kept_min if kept_min is not None else 0
+        return dropped
+
+    @property
+    def total_dropped(self) -> int:
+        """All queries dropped for any reason."""
+        return self.dropped_overflow + self.dropped_stale + self.dropped_unschedulable
+
+
+class PendingIndexStore:
+    """Struct-of-arrays pending queue for the fast back-test loop.
+
+    Where :class:`OffloadEngine` queues :class:`Query` objects, this
+    store queues *workload row indices*: timestamps and deadlines stay in
+    the workload's int64 arrays and a ``Query`` is materialised lazily —
+    at batch issue, at drop recording, and on fault paths — so the
+    admission hot path allocates nothing per event.  The queue-management
+    surface (FIFO order, overflow tail-drop, stale-scan deadline bound,
+    ``requeue_front`` fault semantics, drop counters) mirrors the engine
+    exactly; the loop-parity tests hold the two byte-identical.
+
+    ``admit_run`` is the batched path: it admits a contiguous run of
+    arrivals that occur between two scheduling decisions in one call,
+    replaying the per-event admit → stale-scan cadence as one vectorized
+    pass with identical drop order and drop timestamps.
+    """
+
+    def __init__(
+        self,
+        timestamps: np.ndarray,
+        deadlines: np.ndarray,
+        enqueue_offset_ns: int,
+        max_pending: int = 256,
+    ) -> None:
+        if max_pending <= 0:
+            raise SchedulingError(f"max_pending must be positive, got {max_pending}")
+        self._dl = np.ascontiguousarray(deadlines, dtype=np.int64)
+        # Python-int mirrors: O(1) unboxed lookups on the decision path
+        # (a numpy scalar index costs ~10x a list index).  Public so the
+        # fast loop's lazy completion path can score queries straight
+        # from the arrays without materialising Query objects.
+        self.ts_list: list[int] = timestamps.tolist()
+        self.dl_list: list[int] = self._dl.tolist()
+        self._enqueue_offset_ns = enqueue_offset_ns
+        self.max_pending = max_pending
+        self._buf: list[int] = []  # pending workload indices, FIFO
+        self._head = 0
+        # Same conservative invariant as OffloadEngine._min_deadline_bound.
+        self._min_deadline_bound = 0
+        # Injector-perturbed admissions (stall/reorder) enqueue later than
+        # arrival + offset; everything else derives its enqueue time.
+        self._enqueue_override: dict[int, int] = {}
+        self.dropped_overflow = 0
+        self.dropped_stale = 0
+        self.dropped_unschedulable = 0
+        self.rejected_corrupt = 0
+
+    # -- materialisation ---------------------------------------------------------
+
+    def materialise(self, index: int) -> Query:
+        """Build the Query object for a queued workload row (lazy path)."""
+        enqueue = self._enqueue_override.get(index)
+        if enqueue is None:
+            enqueue = self.ts_list[index] + self._enqueue_offset_ns
+        return Query(
+            query_id=index,
+            tick_index=index,
+            arrival=self.ts_list[index],
+            deadline=self.dl_list[index],
+            enqueue_time=enqueue,
+        )
+
+    def deadline_of(self, index: int) -> int:
+        return self.dl_list[index]
+
+    # -- queue management --------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return len(self._buf) - self._head
+
+    def oldest_index(self) -> int | None:
+        return self._buf[self._head] if self._head < len(self._buf) else None
+
+    def oldest_deadline(self) -> int | None:
+        if self._head >= len(self._buf):
+            return None
+        return self.dl_list[self._buf[self._head]]
+
+    def pending_deadlines(self, k: int) -> list[int]:
+        """Deadlines of the first ``k`` pending queries, FIFO order."""
+        dl = self.dl_list
+        return [dl[i] for i in self._buf[self._head : self._head + k]]
+
+    def pending_deadlines_less(self, k: int, offset: int) -> list[int]:
+        """``pending_deadlines(k)`` with ``offset`` subtracted — one pass
+        for the scheduler's slack-adjusted deadline list."""
+        dl = self.dl_list
+        return [dl[i] - offset for i in self._buf[self._head : self._head + k]]
+
+    def admit_index(self, index: int, enqueue_ns: int) -> int | None:
+        """Admit one arrival; returns the overflow victim's index, if any.
+
+        Mirrors ``Backtester._ingest`` over the engine: when the queue is
+        full the oldest pending query is tail-dropped (reason
+        ``overflow``) before the new one is appended.
+        """
+        victim = None
+        buf = self._buf
+        if len(buf) - self._head >= self.max_pending:
+            victim = buf[self._head]
+            self._head += 1
+            self.dropped_overflow += 1
+        default = self.ts_list[index] + self._enqueue_offset_ns
+        if enqueue_ns != default:
+            self._enqueue_override[index] = enqueue_ns
+        if self._head >= len(buf):
+            self._min_deadline_bound = self.dl_list[index]
+        else:
+            deadline = self.dl_list[index]
+            if deadline < self._min_deadline_bound:
+                self._min_deadline_bound = deadline
+        buf.append(index)
+        return victim
+
+    def can_admit_run(self, count: int) -> bool:
+        """True when ``count`` consecutive admissions cannot overflow."""
+        return self.pending_count() + count <= self.max_pending
+
+    def admit_run(
+        self, start: int, stop: int, times_ns: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Admit workload rows ``[start, stop)`` arriving at
+        ``times_ns[k - start]``, replaying the per-event
+        admit → stale-scan cadence in one vectorized pass.
+
+        Preconditions (the caller's to guarantee): no overflow possible
+        (``can_admit_run``), row index == query id (injector-free run),
+        times non-decreasing.  Returns the stale victims as
+        ``(index, drop_ns)`` in exactly the order and with exactly the
+        timestamps the per-event loop would have produced: ascending drop
+        step, FIFO queue order within a step, ``drop_ns`` = the arrival
+        timestamp of the step whose scan caught the victim.
+        """
+        buf = self._buf
+        head = self._head
+        times = np.ascontiguousarray(times_ns[: stop - start], dtype=np.int64)
+        t_last = int(times[-1])
+        new_dl = self._dl[start:stop]
+        drops: list[tuple[int, int, int]] = []  # (step, rank, index)
+        kept_existing: list[int] | None = None
+        # Existing pending: anything expiring by the run's end is dropped
+        # at the first step whose arrival time reaches its deadline.
+        if head < len(buf) and t_last >= self._min_deadline_bound:
+            existing = np.asarray(buf[head:], dtype=np.int64)
+            exist_dl = self._dl[existing]
+            stale = exist_dl <= t_last
+            if stale.any():
+                ranks = np.flatnonzero(stale)
+                steps = np.searchsorted(times, exist_dl[ranks], side="left")
+                for rank, step, index in zip(
+                    ranks.tolist(), steps.tolist(), existing[ranks].tolist()
+                ):
+                    drops.append((step, rank, index))
+                kept_existing = existing[~stale].tolist()
+        # New arrivals: admitted at their own step, droppable from then on.
+        rank_base = len(buf) - head
+        stale_new = new_dl <= t_last
+        if stale_new.any():
+            offsets = np.flatnonzero(stale_new)
+            steps = np.searchsorted(times, new_dl[offsets], side="left")
+            # A query cannot be dropped before it arrives: clamp to its
+            # own admission step (its deadline may predate the run).
+            steps = np.maximum(steps, offsets)
+            for off, step in zip(offsets.tolist(), steps.tolist()):
+                drops.append((step, rank_base + off, start + off))
+            kept_new = (start + np.flatnonzero(~stale_new)).tolist()
+        else:
+            kept_new = list(range(start, stop))
+        if drops:
+            self.dropped_stale += len(drops)
+            if kept_existing is not None:
+                self._buf = kept_existing + kept_new
+                self._head = 0
+            else:
+                buf.extend(kept_new)
+            drops.sort()
+            out = [(index, int(times[step])) for step, _rank, index in drops]
+        else:
+            buf.extend(kept_new)
+            out = []
+        # Exact bound over the survivors (cheap: arrays are at hand).
+        remaining = self._buf[self._head :]
+        if remaining:
+            self._min_deadline_bound = int(self._dl[remaining].min())
+        else:
+            self._min_deadline_bound = 0
+        return out
+
+    def pop_batch(self, batch_size: int) -> list[Query]:
+        """Dequeue up to ``batch_size`` oldest queries, materialised."""
+        if batch_size <= 0:
+            raise SchedulingError(f"batch size must be positive, got {batch_size}")
+        buf = self._buf
+        head = self._head
+        take = min(batch_size, len(buf) - head)
+        if take <= 0:
+            return []
+        batch = [self.materialise(i) for i in buf[head : head + take]]
+        head += take
+        if head >= len(buf):
+            buf.clear()
+            head = 0
+        elif head > 1024:
+            del buf[:head]
+            head = 0
+        self._head = head
+        overrides = self._enqueue_override
+        if overrides:
+            for query in batch:
+                overrides.pop(query.query_id, None)
+        return batch
+
+    def pop_indices(self, batch_size: int) -> list[int]:
+        """Dequeue up to ``batch_size`` oldest queries as raw workload
+        indices — the lazy twin of :meth:`pop_batch` for runs that never
+        need Query objects (no injector, span tracing off)."""
+        if batch_size <= 0:
+            raise SchedulingError(f"batch size must be positive, got {batch_size}")
+        buf = self._buf
+        head = self._head
+        take = min(batch_size, len(buf) - head)
+        if take <= 0:
+            return []
+        batch = buf[head : head + take]
+        head += take
+        if head >= len(buf):
+            buf.clear()
+            head = 0
+        elif head > 1024:
+            del buf[:head]
+            head = 0
+        self._head = head
+        overrides = self._enqueue_override
+        if overrides:
+            for index in batch:
+                overrides.pop(index, None)
+        return batch
+
+    def drop_oldest(self) -> int | None:
+        """Evict the oldest pending query (Algorithm 1's fallback path);
+        returns its index (the caller materialises if it needs a Query)."""
+        index = self.oldest_index()
+        if index is None:
+            return None
+        self._head += 1
+        self.dropped_unschedulable += 1
+        return index
+
+    def requeue_front(self, queries: "list[Query]") -> None:
+        """Put surrendered queries back at the head, oldest first."""
+        if not queries:
+            return
+        requeued_min = min(q.deadline for q in queries)
+        if self._head >= len(self._buf):
+            self._min_deadline_bound = requeued_min
+        else:
+            self._min_deadline_bound = min(self._min_deadline_bound, requeued_min)
+        for query in queries:
+            default = self.ts_list[query.query_id] + self._enqueue_offset_ns
+            if query.enqueue_time is not None and query.enqueue_time != default:
+                self._enqueue_override[query.query_id] = query.enqueue_time
+        self._buf[self._head : self._head] = [q.query_id for q in queries]
+
+    def drop_stale(self, now: int) -> list[int]:
+        """Indices of every pending query with ``deadline <= now``, removed.
+
+        Same boundary convention and bound-gating as
+        ``OffloadEngine.drop_stale``; the bound is retightened to the
+        exact pending minimum on every scan, so scans almost always pay
+        for themselves with at least one drop.
+        """
+        buf = self._buf
+        head = self._head
+        if head >= len(buf) or now < self._min_deadline_bound:
+            return []
+        if len(buf) - head > 32:
+            # Deep queue: one vectorized pass (same FIFO drop order and
+            # bound retightening as the scalar scan below).
+            pending = np.asarray(buf[head:] if head else buf, dtype=np.int64)
+            pending_dl = self._dl[pending]
+            stale_mask = pending_dl <= now
+            if not stale_mask.any():
+                self._min_deadline_bound = int(pending_dl.min())
+                return []
+            dropped_arr = pending[stale_mask].tolist()
+            kept_arr = pending[~stale_mask]
+            self.dropped_stale += len(dropped_arr)
+            self._buf = kept_arr.tolist()
+            self._head = 0
+            self._min_deadline_bound = (
+                int(pending_dl[~stale_mask].min()) if kept_arr.size else 0
+            )
+            return dropped_arr
+        dl = self.dl_list
+        true_min = None
+        any_stale = False
+        for i in range(head, len(buf)):
+            deadline = dl[buf[i]]
+            if deadline <= now:
+                any_stale = True
+                break
+            if true_min is None or deadline < true_min:
+                true_min = deadline
+        if not any_stale:
+            self._min_deadline_bound = true_min if true_min is not None else 0
+            return []
+        dropped: list[int] = []
+        kept: list[int] = []
+        kept_min = None
+        for i in range(head, len(buf)):
+            index = buf[i]
+            deadline = dl[index]
+            if deadline <= now:
+                dropped.append(index)
+            else:
+                if kept_min is None or deadline < kept_min:
+                    kept_min = deadline
+                kept.append(index)
+        self.dropped_stale += len(dropped)
+        self._buf = kept
+        self._head = 0
         self._min_deadline_bound = kept_min if kept_min is not None else 0
         return dropped
 

@@ -15,11 +15,28 @@ selected scheduling scheme:
 
 GPU-based and FPGA-based systems run the same FIFO policy with their own
 profiles, which is exactly the paper's non-batching comparison.
+
+Two event pumps coexist for each system family.  The **reference** pump
+is the golden model: every arrival is a heap event, every decision is a
+fresh Algorithm-1 sweep, and power is sampled after every event.  The
+**fast** pump (default; ``REPRO_FAST_LOOP=0`` selects the reference)
+merges the sorted arrival stream against the heap with a cursor, drains
+arrival runs between scheduling decisions as vectorized slices over a
+struct-of-arrays query store, memoizes Algorithm-1 decisions, gates
+Algorithm-2 redistribution and power sampling on a cluster state epoch,
+and materialises :class:`Query` objects lazily.  The loop-parity tests
+hold the two pumps byte-identical — same :class:`RunResult`, same
+decision log, same traces — at every trace level.
 """
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro import paperdata
 from repro.accelerator.device import AcceleratorCluster, fastest_capped
@@ -39,7 +56,7 @@ from repro.faults.plan import (
     FaultEvent,
     FaultPlan,
 )
-from repro.pipeline.offload import OffloadEngine, Query
+from repro.pipeline.offload import OffloadEngine, PendingIndexStore, Query
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, RunResult
 from repro.sim.workload import QueryWorkload
@@ -49,6 +66,17 @@ from repro.telemetry import (
     dropped_query_trace,
     run_telemetry,
 )
+
+# Set to "0" (or "false"/"no") to force the reference event pump.
+FAST_LOOP_ENV = "REPRO_FAST_LOOP"
+
+
+def _fast_loop_default() -> bool:
+    return os.environ.get(FAST_LOOP_ENV, "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+    )
 
 
 @dataclass(frozen=True)
@@ -93,11 +121,149 @@ class SimConfig:
 class _Pending:
     """The offload queue plus bookkeeping shared by the event handlers."""
 
-    offload: OffloadEngine
+    offload: OffloadEngine | PendingIndexStore
     metrics: MetricsCollector
     telemetry: Telemetry | None = None
     in_flight: dict[int, list[Query]] = field(default_factory=dict)
     injector: FaultInjector | None = None
+
+
+def _make_surrender_batch(state: _Pending, record_drop):
+    """Build the surrender policy shared by both LightTrader pumps.
+
+    A query is still live while its original deadline has not passed
+    (``deadline > now``; negative deadlines never expire) — re-issue
+    competes against the *original* deadline, never a fresh one.
+    """
+
+    def surrender_batch(batch: "list[Query]", now: int, reason: str) -> tuple[int, int]:
+        alive = [q for q in batch if q.deadline < 0 or q.deadline > now]
+        dead = [q for q in batch if not (q.deadline < 0 or q.deadline > now)]
+        for query in alive:
+            query.issue_time = None
+        state.offload.requeue_front(alive)
+        for victim in dead:
+            victim.dropped = True
+            victim.drop_reason = reason
+            record_drop(victim, now)
+        return len(alive), len(dead)
+
+    return surrender_batch
+
+
+def _make_fault_handler(
+    *,
+    injector: FaultInjector,
+    cluster: AcceleratorCluster,
+    state: _Pending,
+    decision_log,
+    dynamic_table: DVFSTable,
+    static_point: OperatingPoint,
+    queue: EventQueue,
+    surrender_batch,
+):
+    """Build the LightTrader fault-event policy (shared by both pumps)."""
+
+    def handle_fault(now: int, event: FaultEvent) -> None:
+        device = cluster.devices[event.accel_id] if event.accel_id >= 0 else None
+        if event.kind == DEVICE_FAILURE:
+            assert device is not None
+            if not device.healthy:
+                return  # already quarantined by an earlier fault
+            device.fail(now)
+            injector.corrupted.discard(device.accel_id)
+            batch = state.in_flight.pop(device.accel_id, [])
+            requeued, dropped = surrender_batch(batch, now, "device_failure")
+            if decision_log is not None:
+                decision_log.record_fault(
+                    now,
+                    DEVICE_FAILURE,
+                    accel_id=device.accel_id,
+                    requeued=requeued,
+                    dropped=dropped,
+                    survivors=cluster.n_healthy,
+                )
+            if event.duration_ns > 0:
+                queue.push(
+                    now + event.duration_ns,
+                    EventKind.FAULT,
+                    FaultEvent(
+                        t_ns=now + event.duration_ns,
+                        kind=DEVICE_RECOVERY,
+                        accel_id=device.accel_id,
+                    ),
+                )
+        elif event.kind == DEVICE_RECOVERY:
+            assert device is not None
+            if device.healthy:
+                return
+            device.recover(now, static_point)  # recover() clamps to any cap
+            if decision_log is not None:
+                decision_log.record_fault(
+                    now,
+                    DEVICE_RECOVERY,
+                    accel_id=device.accel_id,
+                    survivors=cluster.n_healthy,
+                )
+        elif event.kind == QUERY_CORRUPTION:
+            assert device is not None
+            if device.healthy and device.current is not None:
+                injector.corrupted.add(device.accel_id)
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now, QUERY_CORRUPTION, accel_id=device.accel_id
+                    )
+        elif event.kind == THERMAL_THROTTLE:
+            assert device is not None
+            cap = max(event.cap_hz, dynamic_table.min_point.freq_hz)
+            device.throttle(cap)
+            if decision_log is not None:
+                decision_log.record_fault(
+                    now,
+                    THERMAL_THROTTLE,
+                    accel_id=device.accel_id,
+                    cap_ghz=round(cap / 1e9, 3),
+                )
+            if device.healthy and device.point.freq_hz > cap + 1e-3:
+                target = fastest_capped(dynamic_table, cap)
+                if device.is_idle(now):
+                    ready = device.set_point(target, now, reason="thermal_throttle")
+                    queue.push(ready, EventKind.RETRY, None)
+                else:
+                    remaining = device.busy_until - now
+                    stretched = round(
+                        remaining * device.point.freq_hz / target.freq_hz
+                    )
+                    device.rescale_inflight(now, target, stretched)
+                    queue.push(
+                        device.busy_until, EventKind.COMPLETION, device.accel_id
+                    )
+            if event.duration_ns > 0:
+                queue.push(
+                    now + event.duration_ns,
+                    EventKind.FAULT,
+                    FaultEvent(
+                        t_ns=now + event.duration_ns,
+                        kind=THERMAL_RELEASE,
+                        accel_id=device.accel_id,
+                    ),
+                )
+        elif event.kind == THERMAL_RELEASE:
+            assert device is not None
+            if device.cap_hz is not None:
+                device.release_throttle()
+                if decision_log is not None:
+                    decision_log.record_fault(
+                        now, THERMAL_RELEASE, accel_id=device.accel_id
+                    )
+        elif event.kind == DMA_STALL:
+            injector.begin_stall(now, event.duration_ns)
+            if decision_log is not None:
+                decision_log.record_fault(
+                    now, DMA_STALL, duration_ns=event.duration_ns
+                )
+
+    return handle_fault
 
 
 class Backtester:
@@ -110,6 +276,7 @@ class Backtester:
         config: SimConfig | None = None,
         telemetry: Telemetry | None = None,
         faults: FaultPlan | None = None,
+        fast_loop: bool | None = None,
     ) -> None:
         self.workload = workload
         self.profile = profile
@@ -120,6 +287,9 @@ class Backtester:
         # by ``injector is not None``.
         self.faults = faults if faults is not None and not faults.empty else None
         self._is_lighttrader = isinstance(profile, LightTraderProfile)
+        # None defers to REPRO_FAST_LOOP at run time; an explicit bool
+        # pins this instance (the parity tests run both pumps this way).
+        self.fast_loop = fast_loop
         self.last_metrics: MetricsCollector | None = None
 
     # -- public -------------------------------------------------------------------
@@ -156,26 +326,47 @@ class Backtester:
                 config.n_accelerators,
                 log=telemetry.decisions if telemetry is not None else None,
             )
+        fast = self.fast_loop if self.fast_loop is not None else _fast_loop_default()
+        # The fixed-system fast pump has no fault paths; fall back to the
+        # reference pump when a fixed profile runs under injection.
+        use_fast = fast and (self._is_lighttrader or injector is None)
+        pre_ns = self.profile.stages.pre_inference_ns
+        if use_fast:
+            offload: OffloadEngine | PendingIndexStore = PendingIndexStore(
+                self.workload.timestamps,
+                self.workload.deadlines,
+                pre_ns,
+                max_pending=config.max_pending,
+            )
+        else:
+            offload = OffloadEngine(window=1, max_pending=config.max_pending)
         state = _Pending(
-            offload=OffloadEngine(window=1, max_pending=config.max_pending),
+            offload=offload,
             metrics=metrics,
             telemetry=telemetry,
             injector=injector,
         )
         queue = EventQueue()
-        pre_ns = self.profile.stages.pre_inference_ns
-        for index in range(len(self.workload)):
-            ts = int(self.workload.timestamps[index])
-            if injector is None:
-                queue.push(ts + pre_ns, EventKind.ARRIVAL, index)
-            else:
-                for t in injector.arrival_times(index, ts + pre_ns):
-                    queue.push(t, EventKind.ARRIVAL, index)
+        if not use_fast:
+            # Reference pump: every arrival is a heap event.  The fast
+            # pumps merge the sorted workload arrays directly instead.
+            for index in range(len(self.workload)):
+                ts = int(self.workload.timestamps[index])
+                if injector is None:
+                    queue.push(ts + pre_ns, EventKind.ARRIVAL, index)
+                else:
+                    for t in injector.arrival_times(index, ts + pre_ns):
+                        queue.push(t, EventKind.ARRIVAL, index)
         if injector is not None:
             injector.schedule(queue)
 
         if self._is_lighttrader:
-            self._run_lighttrader(queue, state)
+            if use_fast:
+                self._run_lighttrader_fast(queue, state)
+            else:
+                self._run_lighttrader(queue, state)
+        elif use_fast:
+            self._run_fixed_system_fast(state)
         else:
             self._run_fixed_system(queue, state)
 
@@ -206,6 +397,8 @@ class Backtester:
 
         telemetry = state.telemetry
         decision_log = telemetry.decisions if telemetry is not None else None
+        spans_on = telemetry is not None and telemetry.trace_queries
+        light_on = telemetry is not None and telemetry.light
         cluster = AcceleratorCluster(
             n_accelerators=config.n_accelerators,
             table=dynamic_table,
@@ -336,126 +529,20 @@ class Backtester:
                     for device in cluster.busy_devices(now):
                         queue.push(device.busy_until, EventKind.COMPLETION, device.accel_id)
 
-        def surrender_batch(batch: "list[Query]", now: int, reason: str) -> tuple[int, int]:
-            """Requeue a surrendered batch's live queries; drop the dead ones.
-
-            A query is still live while its original deadline has not
-            passed (``deadline > now``; negative deadlines never expire) —
-            re-issue competes against the *original* deadline, never a
-            fresh one.
-            """
-            alive = [q for q in batch if q.deadline < 0 or q.deadline > now]
-            dead = [q for q in batch if not (q.deadline < 0 or q.deadline > now)]
-            for query in alive:
-                query.issue_time = None
-            state.offload.requeue_front(alive)
-            for victim in dead:
-                victim.dropped = True
-                victim.drop_reason = reason
-                self._record_drop(state, victim, now)
-            return len(alive), len(dead)
-
-        def handle_fault(now: int, event: FaultEvent) -> None:
-            assert injector is not None
-            device = (
-                cluster.devices[event.accel_id] if event.accel_id >= 0 else None
+        surrender_batch = _make_surrender_batch(
+            state, lambda victim, when: self._record_drop(state, victim, when)
+        )
+        if injector is not None:
+            handle_fault = _make_fault_handler(
+                injector=injector,
+                cluster=cluster,
+                state=state,
+                decision_log=decision_log,
+                dynamic_table=dynamic_table,
+                static_point=static_point,
+                queue=queue,
+                surrender_batch=surrender_batch,
             )
-            if event.kind == DEVICE_FAILURE:
-                assert device is not None
-                if not device.healthy:
-                    return  # already quarantined by an earlier fault
-                device.fail(now)
-                injector.corrupted.discard(device.accel_id)
-                batch = state.in_flight.pop(device.accel_id, [])
-                requeued, dropped = surrender_batch(batch, now, "device_failure")
-                if decision_log is not None:
-                    decision_log.record_fault(
-                        now,
-                        DEVICE_FAILURE,
-                        accel_id=device.accel_id,
-                        requeued=requeued,
-                        dropped=dropped,
-                        survivors=cluster.n_healthy,
-                    )
-                if event.duration_ns > 0:
-                    queue.push(
-                        now + event.duration_ns,
-                        EventKind.FAULT,
-                        FaultEvent(
-                            t_ns=now + event.duration_ns,
-                            kind=DEVICE_RECOVERY,
-                            accel_id=device.accel_id,
-                        ),
-                    )
-            elif event.kind == DEVICE_RECOVERY:
-                assert device is not None
-                if device.healthy:
-                    return
-                device.recover(now, static_point)  # recover() clamps to any cap
-                if decision_log is not None:
-                    decision_log.record_fault(
-                        now,
-                        DEVICE_RECOVERY,
-                        accel_id=device.accel_id,
-                        survivors=cluster.n_healthy,
-                    )
-            elif event.kind == QUERY_CORRUPTION:
-                assert device is not None
-                if device.healthy and device.current is not None:
-                    injector.corrupted.add(device.accel_id)
-                    if decision_log is not None:
-                        decision_log.record_fault(
-                            now, QUERY_CORRUPTION, accel_id=device.accel_id
-                        )
-            elif event.kind == THERMAL_THROTTLE:
-                assert device is not None
-                cap = max(event.cap_hz, dynamic_table.min_point.freq_hz)
-                device.throttle(cap)
-                if decision_log is not None:
-                    decision_log.record_fault(
-                        now,
-                        THERMAL_THROTTLE,
-                        accel_id=device.accel_id,
-                        cap_ghz=round(cap / 1e9, 3),
-                    )
-                if device.healthy and device.point.freq_hz > cap + 1e-3:
-                    target = fastest_capped(dynamic_table, cap)
-                    if device.is_idle(now):
-                        ready = device.set_point(target, now, reason="thermal_throttle")
-                        queue.push(ready, EventKind.RETRY, None)
-                    else:
-                        remaining = device.busy_until - now
-                        stretched = round(
-                            remaining * device.point.freq_hz / target.freq_hz
-                        )
-                        device.rescale_inflight(now, target, stretched)
-                        queue.push(
-                            device.busy_until, EventKind.COMPLETION, device.accel_id
-                        )
-                if event.duration_ns > 0:
-                    queue.push(
-                        now + event.duration_ns,
-                        EventKind.FAULT,
-                        FaultEvent(
-                            t_ns=now + event.duration_ns,
-                            kind=THERMAL_RELEASE,
-                            accel_id=device.accel_id,
-                        ),
-                    )
-            elif event.kind == THERMAL_RELEASE:
-                assert device is not None
-                if device.cap_hz is not None:
-                    device.release_throttle()
-                    if decision_log is not None:
-                        decision_log.record_fault(
-                            now, THERMAL_RELEASE, accel_id=device.accel_id
-                        )
-            elif event.kind == DMA_STALL:
-                injector.begin_stall(now, event.duration_ns)
-                if decision_log is not None:
-                    decision_log.record_fault(
-                        now, DMA_STALL, duration_ns=event.duration_ns
-                    )
 
         post_ns = self.profile.stages.post_inference_ns
         while len(queue):
@@ -500,7 +587,7 @@ class Backtester:
                     state.metrics.record_completion(
                         query, query.completion_time, len(batch)
                     )
-                if telemetry is not None and batch:
+                if batch and spans_on:
                     trans_ns = profile.t_trans_ns(len(batch))
                     for query in batch:
                         telemetry.record_query(
@@ -513,6 +600,11 @@ class Backtester:
                                 accel_id=device.accel_id,
                             )
                         )
+                elif batch and light_on:
+                    for query in batch:
+                        telemetry.record_completion_light(
+                            query.deadline, query.arrival, query.completion_time
+                        )
                 try_schedule(now)
             elif kind is EventKind.FAULT:
                 handle_fault(now, payload)
@@ -523,6 +615,473 @@ class Backtester:
             state.metrics.sample_power(now, watts)
             if telemetry is not None:
                 telemetry.sample_power(now, watts)
+
+    def _run_lighttrader_fast(self, queue: EventQueue, state: _Pending) -> None:
+        """The fast LightTrader pump: cursor-merged arrivals, batched
+        admission runs, memoized decisions, epoch-gated redistribution
+        and change-driven power sampling.
+
+        Parity argument, in brief: every device-state change flows
+        through an :class:`Accelerator` method that bumps
+        ``state_version``, and every busy/ready boundary crossing has a
+        heap event at exactly that timestamp, so (a) between consecutive
+        heap events with no healthy idle device, arrivals can neither
+        issue nor change cluster power — they are pure queue admissions,
+        replayed en masse by ``PendingIndexStore.admit_run``; (b) when
+        the summed epoch is unchanged, cluster power at the previous
+        sample is still exact, and Algorithm-2 redistribution (a no-op
+        then) stays a no-op.  The loop-parity tests enforce all of this
+        byte-for-byte against ``_run_lighttrader``.
+        """
+        assert isinstance(self.profile, LightTraderProfile)
+        config = self.config
+        profile = self.profile
+        cost = profile.cost(config.model)
+
+        static_table = DVFSTable(cap_hz=paperdata.TABLE3_CONSERVATIVE_CAP_HZ)
+        dynamic_table = DVFSTable()
+        power_model: PowerModel = profile.power_model
+        static_point = power_model.select_max_frequency(
+            static_table,
+            cost.activity,
+            config.budget_w / config.n_accelerators,
+        ) or static_table.min_point
+
+        telemetry = state.telemetry
+        decision_log = telemetry.decisions if telemetry is not None else None
+        spans_on = telemetry is not None and telemetry.trace_queries
+        light_on = telemetry is not None and telemetry.light
+        cluster = AcceleratorCluster(
+            n_accelerators=config.n_accelerators,
+            table=dynamic_table,
+            power_model=power_model,
+            budget_w=config.budget_w,
+        )
+        for device in cluster.devices:
+            device.point = static_point
+            if telemetry is not None:
+                device.on_transition = telemetry.record_transition
+
+        ws = WorkloadScheduler(
+            profile,
+            dynamic_table,
+            max_batch=config.max_batch,
+            metric=config.scheduler_metric,
+            log=decision_log,
+        )
+        ds = (
+            DVFSScheduler(profile, dynamic_table, log=decision_log)
+            if config.dvfs_scheduling
+            else None
+        )
+
+        static_power = profile.power_w(config.model, static_point, 1)
+        min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
+        post_slack_ns = profile.stages.post_inference_ns
+        post_ns = post_slack_ns
+        injector = state.injector
+        store: PendingIndexStore = state.offload  # type: ignore[assignment]
+        metrics = state.metrics
+        devices = cluster.devices
+        stages = profile.stages
+        max_batch = config.max_batch
+        workload_scheduling = config.workload_scheduling
+        model = config.model
+        static_freq = static_point.freq_hz
+        issue_budget = self._issue_budget
+        # Lazy batches: without an injector (no surrender paths) and with
+        # span tracing off, nothing ever reads a Query object for a
+        # completed query — score straight from the workload arrays.
+        lazy_on = state.injector is None and not spans_on
+        ts_list = store.ts_list
+        dl_list = store.dl_list
+
+        def capped(point: OperatingPoint, device) -> OperatingPoint:
+            if device.cap_hz is not None and point.freq_hz > device.cap_hz + 1e-3:
+                return fastest_capped(dynamic_table, device.cap_hz)
+            return point
+
+        # select_max_frequency is pure in (table, activity, budget) and
+        # table/activity are fixed for the run: cache it by budget.
+        select_cache: dict[float, OperatingPoint | None] = {}
+
+        def select_dynamic(budget: float) -> OperatingPoint | None:
+            try:
+                return select_cache[budget]
+            except KeyError:
+                point = power_model.select_max_frequency(
+                    dynamic_table, cost.activity, budget
+                )
+                select_cache[budget] = point
+                return point
+
+        def decide_for(device, now: int, deadline: int):
+            if workload_scheduling:
+                budget = issue_budget(cluster, device, now)
+                if ds is not None and budget < min_power:
+                    ds.reclaim(cluster, now, min_power - cluster.headroom(now))
+                    budget = issue_budget(cluster, device, now)
+                deadlines = store.pending_deadlines_less(max_batch, post_slack_ns)
+                return ws.decide_memo(
+                    model,
+                    now,
+                    deadlines,
+                    budget,
+                    floor_freq_hz=static_freq,
+                    cap_freq_hz=device.cap_hz,
+                )
+            if ds is not None:
+                budget = issue_budget(cluster, device, now)
+                point = select_dynamic(budget)
+                if point is None:
+                    ds.reclaim(cluster, now, static_power - cluster.headroom(now))
+                    budget = issue_budget(cluster, device, now)
+                    point = select_dynamic(budget)
+                if point is None:
+                    point = static_point
+                return ws.static_decision(
+                    model, capped(point, device), now, deadline
+                )
+            return ws.static_decision(
+                model, capped(static_point, device), now, deadline
+            )
+
+        def record_drop_index(index: int, drop_ns: int, reason: str) -> None:
+            """Score a lazily-stored drop; materialise only for tracing."""
+            metrics.record_drop_ids(index, dl_list[index])
+            if spans_on:
+                victim = store.materialise(index)
+                victim.dropped = True
+                victim.drop_reason = reason
+                telemetry.record_query(
+                    dropped_query_trace(victim, stages, drop_ns=drop_ns)
+                )
+            elif light_on:
+                telemetry.record_drop_light(dl_list[index], reason)
+
+        def epoch_of() -> int:
+            total = 0
+            for d in devices:
+                total += d.state_version
+            return total
+
+        redist_epoch = -1
+
+        def try_schedule(now: int) -> None:
+            nonlocal redist_epoch
+            if store.pending_count():
+                for index in store.drop_stale(now):
+                    record_drop_index(index, now, "stale")
+            # With nothing pending the device loop cannot issue anything;
+            # skip straight to the redistribution tail.
+            for device in devices if store.pending_count() else ():
+                if (
+                    not device.healthy
+                    or device.busy_until > now
+                    or device.available_at > now
+                ):
+                    continue
+                while store.pending_count() > 0:
+                    od = store.oldest_deadline()
+                    deadline = od if od >= 0 else now
+                    decision = decide_for(device, now, deadline)
+                    if decision is None:
+                        effective = deadline - post_slack_ns
+                        if ws.deadline_feasible(model, now, effective):
+                            if decision_log is not None:
+                                decision_log.record_fallback(
+                                    now, "defer_power", store.oldest_index()
+                                )
+                            break
+                        victim = store.drop_oldest()
+                        if victim is not None:
+                            if decision_log is not None:
+                                decision_log.record_fallback(
+                                    now, "drop_unschedulable", victim
+                                )
+                            record_drop_index(victim, now, "unschedulable")
+                        continue
+                    if decision.point != device.point:
+                        ready = device.set_point(decision.point, now)
+                        queue.push(ready, EventKind.RETRY, None)
+                        break
+                    if lazy_on:
+                        batch = store.pop_indices(decision.batch_size)
+                    else:
+                        batch = store.pop_batch(decision.batch_size)
+                    record = device.issue(
+                        now,
+                        decision.t_total_ns,
+                        len(batch),
+                        cost.activity,
+                        deadline_ns=deadline,
+                    )
+                    if not lazy_on:
+                        for query in batch:
+                            query.issue_time = now
+                    state.in_flight[device.accel_id] = batch
+                    queue.push(
+                        record.completion_time, EventKind.COMPLETION, device.accel_id
+                    )
+                    break
+            if ds is not None:
+                epoch = epoch_of()
+                if epoch != redist_epoch:
+                    reserve = 0.0
+                    for d in devices:  # any idle device? (no listcomp)
+                        if d.healthy and d.busy_until <= now and d.available_at <= now:
+                            reserve = static_power
+                            break
+                    if ds.redistribute(cluster, now, reserve_w=reserve):
+                        for device in cluster.busy_devices(now):
+                            queue.push(
+                                device.busy_until, EventKind.COMPLETION, device.accel_id
+                            )
+                        # Acting is not exhaustive (one transition per
+                        # device per call): the reference re-runs every
+                        # event and may keep boosting, so stay ungated
+                        # until a call comes back a no-op.
+                        redist_epoch = -1
+                    else:
+                        redist_epoch = epoch
+
+        surrender_batch = _make_surrender_batch(
+            state, lambda victim, when: self._record_drop(state, victim, when)
+        )
+        if injector is not None:
+            handle_fault = _make_fault_handler(
+                injector=injector,
+                cluster=cluster,
+                state=state,
+                decision_log=decision_log,
+                dynamic_table=dynamic_table,
+                static_point=static_point,
+                queue=queue,
+                surrender_batch=surrender_batch,
+            )
+
+        # Sorted arrival stream (replaces per-arrival heap events).  With
+        # injection, stall/duplicate perturbations expand the stream; the
+        # stable sort reproduces the heap's (time, seq) tie order.
+        pre_ns = stages.pre_inference_ns
+        wl_ts = self.workload.timestamps
+        arr_i: list[int] | None = None
+        if injector is None:
+            arr_np = wl_ts.astype(np.int64, copy=True)
+            arr_np += pre_ns
+            arr_t: list[int] = arr_np.tolist()
+        else:
+            raw_t: list[int] = []
+            raw_i: list[int] = []
+            for index in range(len(self.workload)):
+                nominal = int(wl_ts[index]) + pre_ns
+                for t in injector.arrival_times(index, nominal):
+                    raw_t.append(t)
+                    raw_i.append(index)
+            order = np.argsort(np.asarray(raw_t, dtype=np.int64), kind="stable")
+            arr_t = [raw_t[k] for k in order]
+            arr_i = [raw_i[k] for k in order]
+            arr_np = np.asarray(arr_t, dtype=np.int64)
+        n_arr = len(arr_t)
+        a = 0
+
+        # Change-driven power sampling: the reference samples at the end
+        # of every non-continue event; the value can only differ from the
+        # previous sample when the epoch moved, so sample exactly then
+        # (plus the first and last loop-end events, which pin the
+        # integral's window), and the skipped samples are value-exact.
+        sampled_once = False
+        sampled_epoch = -1
+        sampled_ns = -1
+        watts = 0.0
+        last_event_ns = -1
+
+        def sample(now: int) -> None:
+            nonlocal sampled_once, sampled_epoch, sampled_ns, watts, last_event_ns
+            last_event_ns = now
+            epoch = epoch_of()
+            if sampled_once and epoch == sampled_epoch:
+                return
+            new_watts = cluster.total_power(now)
+            if sampled_once:
+                sampled_epoch = epoch
+                if new_watts == watts:
+                    # Value-identical: the collector would only extend
+                    # its open segment, and the final pin supplies the
+                    # trailing timestamp — skipping is byte-neutral.
+                    return
+            watts = new_watts
+            sampled_once = True
+            sampled_epoch = epoch
+            sampled_ns = now
+            metrics.sample_power(now, watts)
+            if telemetry is not None:
+                telemetry.sample_power(now, watts)
+
+        heap = queue._heap
+        while True:
+            if heap:
+                if a < n_arr:
+                    at = arr_t[a]
+                    top = heap[0]
+                    # Heap wins ties unless it holds a re-pushed ARRIVAL
+                    # (always a later insertion than the stream's copy).
+                    take_arrival = at < top[0] or (at == top[0] and top[1] == 3)
+                else:
+                    take_arrival = False
+            elif a < n_arr:
+                at = arr_t[a]
+                take_arrival = True
+            else:
+                break
+            if take_arrival:
+                now = at
+                if injector is not None:
+                    index = arr_i[a]
+                    a += 1
+                    verdict = injector.on_arrival(index, now)
+                    if verdict == STALLED:
+                        queue.push(injector.stall_until, EventKind.ARRIVAL, index)
+                        continue
+                    if verdict == DUPLICATE:
+                        continue
+                    victim = store.admit_index(index, now)
+                    if victim is not None:
+                        record_drop_index(victim, now, "overflow")
+                    try_schedule(now)
+                else:
+                    idle = False
+                    for d in devices:
+                        if d.healthy and d.busy_until <= now and d.available_at <= now:
+                            idle = True
+                            break
+                    if idle:
+                        victim = store.admit_index(a, now)
+                        a += 1
+                        if victim is not None:
+                            record_drop_index(victim, now, "overflow")
+                        try_schedule(now)
+                    else:
+                        # No device can issue before the next heap event
+                        # (every busy/ready crossing has one), so every
+                        # arrival strictly before it is a pure admission:
+                        # drain the run in one vectorized pass.  With DVFS
+                        # scheduling the reference additionally re-runs
+                        # redistribute at every arrival, and an acting
+                        # pass is not exhaustive — drain only while the
+                        # tail is converged at the current epoch (a no-op
+                        # stays a no-op: with no epoch change headroom is
+                        # constant and boost feasibility only shrinks as
+                        # remaining work drains).
+                        j = bisect_left(arr_t, heap[0][0], a + 1) if heap else n_arr
+                        if (
+                            j - a > 1
+                            and (ds is None or redist_epoch == epoch_of())
+                            and store.can_admit_run(j - a)
+                        ):
+                            for index, drop_ns in store.admit_run(
+                                a, j, arr_np[a:j]
+                            ):
+                                record_drop_index(index, drop_ns, "stale")
+                            now = arr_t[j - 1]
+                            a = j
+                        else:
+                            victim = store.admit_index(a, now)
+                            a += 1
+                            if victim is not None:
+                                record_drop_index(victim, now, "overflow")
+                            try_schedule(now)
+                sample(now)
+            else:
+                now, kind, payload = queue.pop()
+                if kind is EventKind.COMPLETION:
+                    device = devices[payload]
+                    if device.current is None:
+                        continue
+                    if device.busy_until > now:
+                        queue.push(device.busy_until, EventKind.COMPLETION, payload)
+                        continue
+                    device.finish(now)
+                    batch = state.in_flight.pop(device.accel_id, [])
+                    if injector is not None and device.accel_id in injector.corrupted:
+                        injector.corrupted.discard(device.accel_id)
+                        requeued, dropped = surrender_batch(
+                            batch, now, "corrupt_result"
+                        )
+                        if decision_log is not None:
+                            decision_log.record_fault(
+                                now,
+                                "corrupt_result",
+                                accel_id=device.accel_id,
+                                requeued=requeued,
+                                dropped=dropped,
+                            )
+                        try_schedule(now)
+                        continue
+                    if lazy_on:
+                        order = now + post_ns
+                        nb = len(batch)
+                        for index in batch:
+                            metrics.record_completion_ids(
+                                index, dl_list[index], ts_list[index], order, nb
+                            )
+                        if batch and light_on:
+                            for index in batch:
+                                telemetry.record_completion_light(
+                                    dl_list[index], ts_list[index], order
+                                )
+                        try_schedule(now)
+                        sample(now)
+                        continue
+                    for query in batch:
+                        query.completion_time = now + post_ns
+                        metrics.record_completion(
+                            query, query.completion_time, len(batch)
+                        )
+                    if batch and spans_on:
+                        trans_ns = profile.t_trans_ns(len(batch))
+                        for query in batch:
+                            telemetry.record_query(
+                                completed_query_trace(
+                                    query,
+                                    stages,
+                                    inference_done_ns=now,
+                                    t_trans_ns=trans_ns,
+                                    batch_size=len(batch),
+                                    accel_id=device.accel_id,
+                                )
+                            )
+                    elif batch and light_on:
+                        for query in batch:
+                            telemetry.record_completion_light(
+                                query.deadline, query.arrival, query.completion_time
+                            )
+                    try_schedule(now)
+                elif kind is EventKind.FAULT:
+                    # Faults can repoint/quarantine devices: every cached
+                    # sweep's floor/cap/budget context may be void.
+                    ws.invalidate_memo()
+                    handle_fault(now, payload)
+                    try_schedule(now)
+                elif kind is EventKind.ARRIVAL:
+                    # Re-pushed arrival from a DMA-stall window.
+                    verdict = injector.on_arrival(payload, now)
+                    if verdict == STALLED:
+                        queue.push(injector.stall_until, EventKind.ARRIVAL, payload)
+                        continue
+                    if verdict == DUPLICATE:
+                        continue
+                    victim = store.admit_index(payload, now)
+                    if victim is not None:
+                        record_drop_index(victim, now, "overflow")
+                    try_schedule(now)
+                else:  # RETRY
+                    try_schedule(now)
+                sample(now)
+        # Pin the final sample so duration_s spans exactly the same
+        # [first event, last event] window the reference integrates.
+        if sampled_once and last_event_ns != sampled_ns:
+            metrics.sample_power(last_event_ns, watts)
 
     @staticmethod
     def _issue_budget(cluster, device, now) -> float:
@@ -540,6 +1099,8 @@ class Backtester:
         config = self.config
         telemetry = state.telemetry
         decision_log = telemetry.decisions if telemetry is not None else None
+        spans_on = telemetry is not None and telemetry.trace_queries
+        light_on = telemetry is not None and telemetry.light
         injector = state.injector
         busy_until = [0] * config.n_accelerators
         in_flight: dict[int, Query] = {}
@@ -666,7 +1227,7 @@ class Backtester:
                         state.metrics.record_completion(
                             query, query.completion_time, 1
                         )
-                        if telemetry is not None:
+                        if spans_on:
                             telemetry.record_query(
                                 completed_query_trace(
                                     query,
@@ -677,12 +1238,148 @@ class Backtester:
                                     accel_id=payload,
                                 )
                             )
+                        elif light_on:
+                            telemetry.record_completion_light(
+                                query.deadline, query.arrival, query.completion_time
+                            )
             elif kind is EventKind.FAULT:
                 handle_fault(now, payload)
             try_schedule(now)
             state.metrics.sample_power(now, self.profile.system_power_w)
             if telemetry is not None:
                 telemetry.sample_power(now, self.profile.system_power_w)
+
+    def _run_fixed_system_fast(self, state: _Pending) -> None:
+        """Fast fixed-profile pump (fault-free runs only — ``run()``
+        falls back to the reference pump under injection).
+
+        Constant service time makes completions FIFO (a deque replaces
+        the heap) and constant system power makes the timeline flat: the
+        first and last events pin the same integral the reference
+        accumulates event by event.
+        """
+        config = self.config
+        telemetry = state.telemetry
+        spans_on = telemetry is not None and telemetry.trace_queries
+        light_on = telemetry is not None and telemetry.light
+        store: PendingIndexStore = state.offload  # type: ignore[assignment]
+        metrics = state.metrics
+        stages = self.profile.stages
+        post_ns = stages.post_inference_ns
+        t_total = self.profile.t_total_ns(config.model, None, 1)
+        trans_ns = self.profile.t_trans_ns(1)
+        watts = self.profile.system_power_w
+
+        arr_np = self.workload.timestamps + stages.pre_inference_ns
+        arr_t: list[int] = arr_np.tolist()
+        n_arr = len(arr_t)
+        a = 0
+        n_servers = config.n_accelerators
+        busy_until = [0] * n_servers
+        # Fault-free by construction; with spans off too, completions can
+        # be scored straight from the workload arrays (no Query objects).
+        lazy_on = not spans_on
+        ts_list = store.ts_list
+        dl_list = store.dl_list
+        completions: deque = deque()  # (completion_ns, server, Query|index) FIFO
+        first_ns = -1
+        last_ns = 0
+
+        def record_drop_index(index: int, drop_ns: int, reason: str) -> None:
+            metrics.record_drop_ids(index, dl_list[index])
+            if spans_on:
+                victim = store.materialise(index)
+                victim.dropped = True
+                victim.drop_reason = reason
+                telemetry.record_query(
+                    dropped_query_trace(victim, stages, drop_ns=drop_ns)
+                )
+            elif light_on:
+                telemetry.record_drop_light(dl_list[index], reason)
+
+        while True:
+            if completions:
+                ct = completions[0][0]
+                take_arrival = a < n_arr and arr_t[a] < ct
+            elif a < n_arr:
+                take_arrival = True
+            else:
+                break
+            if take_arrival:
+                now = arr_t[a]
+                free = False
+                for b in busy_until:
+                    if b <= now:
+                        free = True
+                        break
+                if not free:
+                    # All servers busy until the next completion: drain
+                    # the arrival run as one vectorized admission pass.
+                    j = bisect_left(arr_t, ct, a + 1)
+                    if j - a > 1 and store.can_admit_run(j - a):
+                        if first_ns < 0:
+                            first_ns = now
+                        for index, drop_ns in store.admit_run(a, j, arr_np[a:j]):
+                            record_drop_index(index, drop_ns, "stale")
+                        last_ns = arr_t[j - 1]
+                        a = j
+                        continue
+                victim = store.admit_index(a, now)
+                a += 1
+                if victim is not None:
+                    record_drop_index(victim, now, "overflow")
+            else:
+                now, server, query = completions.popleft()
+                if lazy_on:
+                    index = query
+                    order = now + post_ns
+                    metrics.record_completion_ids(
+                        index, dl_list[index], ts_list[index], order, 1
+                    )
+                    if light_on:
+                        telemetry.record_completion_light(
+                            dl_list[index], ts_list[index], order
+                        )
+                else:
+                    query.completion_time = now + post_ns
+                    metrics.record_completion(query, query.completion_time, 1)
+                    if spans_on:
+                        telemetry.record_query(
+                            completed_query_trace(
+                                query,
+                                stages,
+                                inference_done_ns=now,
+                                t_trans_ns=trans_ns,
+                                batch_size=1,
+                                accel_id=server,
+                            )
+                        )
+            if store.pending_count():
+                for index in store.drop_stale(now):
+                    record_drop_index(index, now, "stale")
+                for server in range(n_servers):
+                    if busy_until[server] > now:
+                        continue
+                    if lazy_on:
+                        batch = store.pop_indices(1)
+                    else:
+                        batch = store.pop_batch(1)
+                    if not batch:
+                        break
+                    query = batch[0]
+                    if not lazy_on:
+                        query.issue_time = now
+                    done = now + t_total
+                    busy_until[server] = done
+                    completions.append((done, server, query))
+            if first_ns < 0:
+                first_ns = now
+            last_ns = now
+        if first_ns >= 0:
+            metrics.sample_power(first_ns, watts)
+            if telemetry is not None:
+                telemetry.sample_power(first_ns, watts)
+            metrics.sample_power(last_ns, watts)
 
     # -- shared helpers ---------------------------------------------------------------
 
@@ -713,10 +1410,15 @@ class Backtester:
     def _record_drop(self, state: _Pending, query: Query, now: int) -> None:
         """Score a drop and, when tracing, emit its truncated span trace."""
         state.metrics.record_drop(query)
-        if state.telemetry is not None:
-            state.telemetry.record_query(
+        telemetry = state.telemetry
+        if telemetry is None:
+            return
+        if telemetry.trace_queries:
+            telemetry.record_query(
                 dropped_query_trace(query, self.profile.stages, drop_ns=now)
             )
+        elif telemetry.light:
+            telemetry.record_drop_light(query.deadline, query.drop_reason or "unknown")
 
 
 def run_lighttrader(

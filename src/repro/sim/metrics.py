@@ -78,6 +78,12 @@ class MetricsCollector:
     _power_time_ns: int = 0
     _peak_power_w: float = 0.0
     _last_power_sample: tuple[int, float] | None = None
+    # Open constant-wattage segment: (start_ns, watts).  Integration
+    # happens only when the value changes (and for the trailing segment
+    # in result()), so a caller that skips value-identical samples — the
+    # fast simulator loop — accumulates the exact same float sequence as
+    # one that samples every event.
+    _segment: tuple[int, float] | None = None
 
     def record_completion(self, query: Query, order_time: int, batch_size: int) -> None:
         """A query's order left the system at ``order_time``."""
@@ -93,13 +99,42 @@ class MetricsCollector:
             self.completed_late += 1
             self.trace.append((query.query_id, False))
 
+    def record_completion_ids(
+        self,
+        query_id: int,
+        deadline: int,
+        arrival: int,
+        order_time: int,
+        batch_size: int,
+    ) -> None:
+        """Identity-only completion recording for the fast loop's lazy
+        path: counter-, trace- and float-identical to
+        :meth:`record_completion` without a materialised :class:`Query`."""
+        if deadline < 0:
+            self.unscored += 1
+            return
+        self._batch_sizes.append(batch_size)
+        if order_time <= deadline:
+            self.responded += 1
+            self.trace.append((query_id, True))
+            self._latencies_us.append((order_time - arrival) / 1_000.0)
+        else:
+            self.completed_late += 1
+            self.trace.append((query_id, False))
+
     def record_drop(self, query: Query) -> None:
         """A query was dropped before completing."""
-        if query.deadline < 0:
+        self.record_drop_ids(query.query_id, query.deadline)
+
+    def record_drop_ids(self, query_id: int, deadline: int) -> None:
+        """Identity-only drop recording for the fast loop's lazy path:
+        counter- and trace-identical to :meth:`record_drop` without
+        requiring a materialised :class:`Query`."""
+        if deadline < 0:
             self.unscored += 1
         else:
             self.dropped += 1
-            self.trace.append((query.query_id, False))
+            self.trace.append((query_id, False))
 
     def sample_power(self, now: int, watts: float) -> None:
         """Integrate power over time (call at every state change).
@@ -108,17 +143,23 @@ class MetricsCollector:
         until ``now``.  Equal timestamps replace the reading (last write
         at an instant wins); an out-of-order sample (``now`` before the
         last one) still registers for the peak but never rewinds the
-        integral.
+        integral.  Value-identical samples only extend the open segment,
+        so redundant sampling never perturbs the float accumulation.
         """
-        if self._last_power_sample is not None:
-            prev_time, prev_watts = self._last_power_sample
-            dt = now - prev_time
-            if dt < 0:
+        last = self._last_power_sample
+        if last is not None:
+            if now < last[0]:
                 self._peak_power_w = max(self._peak_power_w, watts)
                 return
-            if dt > 0:
-                self._energy_j += prev_watts * dt / 1e9
-                self._power_time_ns += dt
+            if watts != last[1]:
+                start, seg_watts = self._segment
+                dt = now - start
+                if dt > 0:
+                    self._energy_j += seg_watts * dt / 1e9
+                    self._power_time_ns += dt
+                self._segment = (now, watts)
+        else:
+            self._segment = (now, watts)
         self._peak_power_w = max(self._peak_power_w, watts)
         self._last_power_sample = (now, watts)
 
@@ -138,7 +179,17 @@ class MetricsCollector:
         else:
             mean_us = p50_us = p99_us = float("nan")
         scored = self.responded + self.completed_late + self.dropped
-        duration_s = self._power_time_ns / 1e9
+        energy_j = self._energy_j
+        power_time_ns = self._power_time_ns
+        if self._segment is not None and self._last_power_sample is not None:
+            # Close the trailing constant-wattage segment (non-mutating:
+            # result() stays safe to call repeatedly).
+            start, seg_watts = self._segment
+            dt = self._last_power_sample[0] - start
+            if dt > 0:
+                energy_j += seg_watts * dt / 1e9
+                power_time_ns += dt
+        duration_s = power_time_ns / 1e9
         return RunResult(
             system=self.system,
             model=self.model,
@@ -152,8 +203,8 @@ class MetricsCollector:
             mean_batch_size=(
                 float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
             ),
-            mean_power_w=(self._energy_j / duration_s if duration_s > 0 else 0.0),
+            mean_power_w=(energy_j / duration_s if duration_s > 0 else 0.0),
             peak_power_w=self._peak_power_w,
-            energy_j=self._energy_j,
+            energy_j=energy_j,
             duration_s=duration_s,
         )

@@ -48,6 +48,12 @@ __all__ = [
 
 WORKLOAD_CACHE_ENV = "REPRO_WORKLOAD_CACHE"
 
+# Bump whenever a generator's RNG stream changes (e.g. the vectorized
+# Hawkes thinning loop consumes draws in a different order than the
+# scalar sampler did) so stale on-disk entries can never shadow the
+# regenerated workload.
+_GENERATOR_VERSION = 2
+
 _memory: dict[str, QueryWorkload] = {}
 
 
@@ -70,7 +76,9 @@ def workload_cache_key(
     name: str,
 ) -> str:
     """Stable digest of one synthetic-workload parameterisation."""
-    descriptor = repr((float(duration_s), spec, policy, int(seed), str(name)))
+    descriptor = repr(
+        (_GENERATOR_VERSION, float(duration_s), spec, policy, int(seed), str(name))
+    )
     return hashlib.sha256(descriptor.encode()).hexdigest()[:24]
 
 

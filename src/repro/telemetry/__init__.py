@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.telemetry.decisions import DecisionLog, decision_to_dict, point_to_dict
 from repro.telemetry.registry import NULL_REGISTRY, Counter, Gauge, Histogram, Registry
+from repro.telemetry.ring import RingBuffer
 from repro.telemetry.spans import (
     ALL_STAGES,
     FIXED_POST_STAGES,
@@ -55,8 +56,10 @@ __all__ = [
     "NULL_REGISTRY",
     "QueryTrace",
     "Registry",
+    "RingBuffer",
     "Span",
     "TRACE_DIR_ENV",
+    "TRACE_LEVEL_ENV",
     "Telemetry",
     "TraceWriter",
     "VARIABLE_STAGES",
@@ -72,6 +75,28 @@ __all__ = [
 ]
 
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+# Per-run tracing detail: 0 = spans + power timeline off (counters and
+# the decision log stay live), 1 = light mode (aggregate counters plus
+# preallocated ring buffers, flushed as summary events at close),
+# 2 = full per-query span traces and per-change power events (default).
+TRACE_LEVEL_ENV = "REPRO_TRACE_LEVEL"
+
+# Ring capacities for light mode: the most recent window each ring
+# retains before overwriting (the aggregate counters never lose data).
+POWER_RING_ROWS = 4096
+QUERY_RING_ROWS = 8192
+
+
+def _trace_level_default() -> int:
+    raw = os.environ.get(TRACE_LEVEL_ENV, "").strip()
+    if not raw:
+        return 2
+    try:
+        level = int(raw)
+    except ValueError:
+        return 2
+    return min(max(level, 0), 2)
 
 
 def configure_logging(level: int | str = logging.INFO) -> logging.Logger:
@@ -104,12 +129,28 @@ class Telemetry:
         writer: TraceWriter | None = None,
         keep_traces: bool = False,
         keep_events: bool = True,
+        level: int | None = None,
     ) -> None:
         self.registry = registry if registry is not None else Registry()
         self.writer = writer
         self.decisions = DecisionLog(self.registry, writer, keep_events=keep_events)
         self.traces: list[QueryTrace] | None = [] if keep_traces else None
         self._last_power: float | None = None
+        self.level = _trace_level_default() if level is None else min(max(level, 0), 2)
+        # Light-mode rings, built lazily so levels 0/2 allocate nothing.
+        self._power_ring: RingBuffer | None = None
+        self._query_ring: RingBuffer | None = None
+
+    @property
+    def trace_queries(self) -> bool:
+        """True when callers should build full per-query span traces."""
+        return self.level >= 2
+
+    @property
+    def light(self) -> bool:
+        """True when callers should report query outcomes via the
+        allocation-free ``record_*_light`` path instead of span traces."""
+        return self.level == 1
 
     # -- run lifecycle ---------------------------------------------------------
 
@@ -118,10 +159,33 @@ class Telemetry:
         self.decisions.emit("run", system=system, model=model, scheme=scheme, **extra)
 
     def close(self) -> None:
-        """Flush the aggregate snapshot and close the writer."""
+        """Flush light-mode rings and the aggregate snapshot; close the
+        writer."""
+        self._flush_rings()
         if self.writer is not None:
             self.writer.write({"type": "snapshot", **self.registry.snapshot()})
             self.writer.close()
+
+    def _flush_rings(self) -> None:
+        if self._power_ring is not None and len(self._power_ring):
+            rows = self._power_ring.rows()
+            self.decisions.emit(
+                "power_timeline",
+                t_ns=[int(t) for t in rows[:, 0]],
+                watts=[round(float(w), 4) for w in rows[:, 1]],
+                dropped=self._power_ring.dropped,
+            )
+            self._power_ring = None
+        if self._query_ring is not None and len(self._query_ring):
+            rows = self._query_ring.rows()
+            self.decisions.emit(
+                "query_window",
+                arrival_ns=[int(t) for t in rows[:, 0]],
+                t2t_ns=[int(t) for t in rows[:, 1]],
+                in_time=[bool(f) for f in rows[:, 2]],
+                dropped=self._query_ring.dropped,
+            )
+            self._query_ring = None
 
     def __enter__(self) -> "Telemetry":
         return self
@@ -150,11 +214,55 @@ class Telemetry:
     # -- power rail -----------------------------------------------------------
 
     def sample_power(self, now: int, watts: float) -> None:
-        """Extend the power timeline (deduplicates unchanged readings)."""
-        if watts == self._last_power:
+        """Extend the power timeline (deduplicates unchanged readings).
+
+        Level 2 emits one decision-log event per change; level 1 lands
+        the change in the preallocated power ring; level 0 is a no-op.
+        """
+        if self.level == 0 or watts == self._last_power:
             return
         self._last_power = watts
-        self.decisions.record_power(now, watts)
+        if self.level >= 2:
+            self.decisions.record_power(now, watts)
+            return
+        ring = self._power_ring
+        if ring is None:
+            ring = self._power_ring = RingBuffer(POWER_RING_ROWS, 2)
+        self.registry.gauge("power.rail_w").set(watts)
+        ring.push2(now, watts)
+
+    # -- light-mode query outcomes (level 1) -----------------------------------
+
+    def record_completion_light(
+        self, deadline_ns: int, arrival_ns: int, order_ns: int
+    ) -> None:
+        """Score one completed query without building a span trace.
+
+        Keeps the same outcome counters and tick-to-trade histogram as
+        :meth:`record_query`, and lands (arrival, t2t, in_time) in the
+        query ring — one row assignment, no allocation.
+        """
+        registry = self.registry
+        if deadline_ns < 0:
+            registry.counter("queries.unscored").inc()
+            return
+        in_time = order_ns <= deadline_ns
+        registry.counter("queries.in_time" if in_time else "queries.late").inc()
+        t2t = order_ns - arrival_ns
+        registry.histogram("tick_to_trade").record(t2t)
+        ring = self._query_ring
+        if ring is None:
+            ring = self._query_ring = RingBuffer(QUERY_RING_ROWS, 3)
+        ring.push3(arrival_ns, t2t, 1.0 if in_time else 0.0)
+
+    def record_drop_light(self, deadline_ns: int, reason: str) -> None:
+        """Score one dropped query without building a span trace."""
+        registry = self.registry
+        if deadline_ns < 0:
+            registry.counter("queries.unscored").inc()
+            return
+        registry.counter("queries.dropped").inc()
+        registry.counter(f"miss.dropped:{reason}").inc()
 
     # -- device hook ----------------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Preallocated ring buffers: the allocation-free telemetry fast path.
+
+``REPRO_TRACE_LEVEL=1`` keeps telemetry on without per-query span
+objects or per-sample dict events: numeric observations land in
+fixed-capacity numpy rings (one row assignment per observation, zero
+allocation once warmed), and the run's :class:`~repro.telemetry.Telemetry`
+flushes each ring as a single summary event at close.  When a ring wraps
+it overwrites the oldest rows and counts what it lost, so a long run
+degrades to "most recent window + aggregate counters" instead of growing
+without bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity, overwrite-oldest ring of numeric rows.
+
+    Rows are float64 (ns timestamps up to ~2^53 survive exactly, far
+    beyond any simulated horizon).  ``push2``/``push3`` are fixed-arity
+    so the hot path never packs an argument tuple.
+    """
+
+    __slots__ = ("_data", "_capacity", "_next", "total")
+
+    def __init__(self, capacity: int, width: int) -> None:
+        if capacity <= 0 or width <= 0:
+            raise ValueError("ring capacity and width must be positive")
+        self._data = np.zeros((capacity, width), dtype=np.float64)
+        self._capacity = capacity
+        self._next = 0
+        self.total = 0  # rows ever pushed (>= len(self) once wrapped)
+
+    def __len__(self) -> int:
+        return min(self.total, self._capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Rows overwritten after the ring wrapped."""
+        return max(0, self.total - self._capacity)
+
+    def push2(self, a: float, b: float) -> None:
+        row = self._data[self._next]
+        row[0] = a
+        row[1] = b
+        self._next += 1
+        if self._next == self._capacity:
+            self._next = 0
+        self.total += 1
+
+    def push3(self, a: float, b: float, c: float) -> None:
+        row = self._data[self._next]
+        row[0] = a
+        row[1] = b
+        row[2] = c
+        self._next += 1
+        if self._next == self._capacity:
+            self._next = 0
+        self.total += 1
+
+    def rows(self) -> np.ndarray:
+        """The retained rows, oldest first (a copy; safe to keep)."""
+        n = len(self)
+        if self.total <= self._capacity:
+            return self._data[:n].copy()
+        return np.concatenate(
+            (self._data[self._next :], self._data[: self._next])
+        )
