@@ -1,11 +1,10 @@
 """Fig. 11: non-batching latency, response rate and effective TFLOPS/W of
 LightTrader vs the GPU-based and FPGA-based systems."""
 
-import os
 
 import pytest
 
-from repro import paperdata
+from repro import envcfg, paperdata
 from repro.bench import bench_duration_s, run_fig11
 from repro.telemetry import TRACE_DIR_ENV
 
@@ -15,7 +14,7 @@ def test_fig11_nonbatching(benchmark, record_table):
         run_fig11,
         kwargs={
             "duration_s": max(bench_duration_s(), 300.0),
-            "trace_dir": os.environ.get(TRACE_DIR_ENV),
+            "trace_dir": envcfg.get_path(TRACE_DIR_ENV),
         },
         rounds=1,
         iterations=1,

@@ -7,9 +7,8 @@ averages (our baseline is a plain FIFO; see EXPERIMENTS.md), so the
 bounds below check direction and ordering, not exact magnitude.
 """
 
-import os
 
-from repro import paperdata
+from repro import envcfg, paperdata
 from repro.bench import bench_duration_s, run_fig13
 from repro.telemetry import TRACE_DIR_ENV
 
@@ -19,7 +18,7 @@ def test_fig13_scheduling(benchmark, record_table):
         run_fig13,
         kwargs={
             "duration_s": max(bench_duration_s(), 120.0),
-            "trace_dir": os.environ.get(TRACE_DIR_ENV),
+            "trace_dir": envcfg.get_path(TRACE_DIR_ENV),
         },
         rounds=1,
         iterations=1,

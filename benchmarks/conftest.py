@@ -14,11 +14,11 @@ drives write a per-run JSONL telemetry trace there (rendered with
 ``python -m repro.telemetry.report <dir>``).
 """
 
-import os
 import pathlib
 
 import pytest
 
+from repro import envcfg
 from repro.telemetry import TRACE_DIR_ENV, configure_logging
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -27,7 +27,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session", autouse=True)
 def _logging_and_trace_note():
     log = configure_logging()
-    trace_dir = os.environ.get(TRACE_DIR_ENV)
+    trace_dir = envcfg.get_path(TRACE_DIR_ENV)
     if trace_dir:
         log.info("telemetry enabled: JSONL traces land in %s", trace_dir)
     yield

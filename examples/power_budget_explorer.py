@@ -10,7 +10,6 @@ Usage::
     python examples/power_budget_explorer.py
 """
 
-import dataclasses
 
 from repro import paperdata
 from repro.accelerator.power import DVFSTable, PowerModel, fit_activity_coefficients

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.lob import Side
 from repro.market import generate_session
-from repro.pipeline import Prediction, RiskLimits, TradingEngine
+from repro.pipeline import RiskLimits, TradingEngine
 from repro.protocol import ILink3Order
 from repro.strategy import PnLTracker, SoftmaxClassifier, build_dataset
 

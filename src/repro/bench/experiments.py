@@ -13,14 +13,13 @@ to shorter runs via the ``REPRO_BENCH_DURATION`` environment variable.
 
 from __future__ import annotations
 
-import os
 import statistics
 from dataclasses import dataclass, field
 
-from repro import paperdata
+from repro import envcfg, paperdata
 from repro.accelerator.c2c import C2CLinkConfig, InterlakenLinkConfig, bandwidth_ratio
 from repro.accelerator.power import build_static_table, fit_activity_coefficients
-from repro.baselines.modelcosts import benchmark_costs, cost_from_model
+from repro.baselines.modelcosts import cost_from_model
 from repro.baselines.profiles import (
     LightTraderProfile,
     fpga_profile,
@@ -63,7 +62,7 @@ def traced_run(
 
 def bench_duration_s(default: float = 60.0) -> float:
     """Workload duration for benchmarks (REPRO_BENCH_DURATION overrides)."""
-    return float(os.environ.get("REPRO_BENCH_DURATION", default))
+    return envcfg.get_float(envcfg.BENCH_DURATION.name, default)
 
 
 def headline_workload(duration_s: float | None = None, seed: int = 1) -> QueryWorkload:
@@ -778,7 +777,7 @@ def run_profile(
         f"back-test\n"
         f"# model={model} n_accelerators={n_accelerators} "
         f"duration={duration:g}s queries={len(workload)} "
-        f"fast_loop={'0' if os.environ.get('REPRO_FAST_LOOP') == '0' else '1'}\n"
+        f"fast_loop={'1' if envcfg.get_bool(envcfg.FAST_LOOP.name) else '0'}\n"
         f"# {result.describe()}\n"
     )
     report = header + buffer.getvalue()

@@ -34,6 +34,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro import envcfg
 from repro.baselines.modelcosts import ModelCost
 from repro.baselines.profiles import (
     LightTraderProfile,
@@ -62,12 +63,12 @@ __all__ = [
     "run_many",
 ]
 
-BENCH_JOBS_ENV = "REPRO_BENCH_JOBS"
+BENCH_JOBS_ENV = envcfg.BENCH_JOBS.name
 # Extra pool rebuilds granted when a worker process dies mid-grid.
-BENCH_RETRIES_ENV = "REPRO_BENCH_RETRIES"
+BENCH_RETRIES_ENV = envcfg.BENCH_RETRIES.name
 # Test hook: a file whose content names a run; executing that run removes
 # the file and kills the worker process (simulating an OOM kill / segv).
-BENCH_CRASH_FILE_ENV = "REPRO_BENCH_CRASH_FILE"
+BENCH_CRASH_FILE_ENV = envcfg.BENCH_CRASH_FILE.name
 
 _PROFILE_FACTORIES = {
     "lighttrader": lighttrader_profile,
@@ -82,24 +83,12 @@ _profiles: dict[str, SystemProfile] = {}
 
 def default_jobs() -> int:
     """Worker count: ``REPRO_BENCH_JOBS`` or 1 (serial)."""
-    value = os.environ.get(BENCH_JOBS_ENV)
-    if not value:
-        return 1
-    try:
-        return max(1, int(value))
-    except ValueError:
-        raise SimulationError(f"{BENCH_JOBS_ENV} must be an integer, got {value!r}")
+    return envcfg.get_int(BENCH_JOBS_ENV)
 
 
 def default_retries() -> int:
     """Pool-crash retries: ``REPRO_BENCH_RETRIES`` or 1."""
-    value = os.environ.get(BENCH_RETRIES_ENV)
-    if not value:
-        return 1
-    try:
-        return max(0, int(value))
-    except ValueError:
-        raise SimulationError(f"{BENCH_RETRIES_ENV} must be an integer, got {value!r}")
+    return envcfg.get_int(BENCH_RETRIES_ENV)
 
 
 @dataclass(frozen=True)
@@ -165,7 +154,7 @@ def profile_for(name: str) -> SystemProfile:
 
 def _maybe_crash(spec: RunSpec) -> None:
     """Kill this worker if the crash-hook file names ``spec`` (tests only)."""
-    crash_file = os.environ.get(BENCH_CRASH_FILE_ENV)
+    crash_file = envcfg.get_path(BENCH_CRASH_FILE_ENV)
     if not crash_file or not os.path.exists(crash_file):
         return
     try:

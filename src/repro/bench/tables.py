@@ -6,7 +6,7 @@ measured comparisons look uniform across the harness.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def render_table(

@@ -51,12 +51,12 @@ class DVFSScheduler:
     )
     # Faster table points per operating frequency, so the candidate scan
     # starts where the table stops being slower than the device.
-    _faster: dict[float, tuple] = field(
+    _faster: "dict[float, tuple[OperatingPoint, ...]]" = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
     # Exact power_w memo keyed (freq_hz, activity, batch): power_w is a
     # pure function, so cached floats are bit-identical to recomputation.
-    _power_cache: dict = field(
+    _power_cache: dict[tuple[float, float, int], float] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
 

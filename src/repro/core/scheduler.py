@@ -23,23 +23,24 @@ enforce over randomized profiles, deadlines and budgets.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import envcfg
 from repro.accelerator.power import DVFSTable, OperatingPoint
 from repro.baselines.profiles import LightTraderProfile
 from repro.core.ppw import ppw
 from repro.core.sweepgrid import SweepGrid
 from repro.errors import SchedulingError
+from repro.hotpath import hot_path
 
 if TYPE_CHECKING:
     from repro.telemetry.decisions import DecisionLog
 
 # Set to "1" to force the reference (golden-model) Algorithm-1 loop.
-SWEEP_REFERENCE_ENV = "REPRO_SWEEP_REFERENCE"
+SWEEP_REFERENCE_ENV = envcfg.SWEEP_REFERENCE.name
 
 # Decision-memo size cap: steady-state traffic produces a handful of
 # distinct (depth, floor, cap, budget) signatures, so hitting the cap
@@ -49,7 +50,7 @@ MEMO_MAX_ENTRIES = 4096
 
 
 def _vectorized_default() -> bool:
-    return os.environ.get(SWEEP_REFERENCE_ENV, "").lower() not in ("1", "true", "yes")
+    return not envcfg.get_bool(SWEEP_REFERENCE_ENV)
 
 
 @dataclass(frozen=True)
@@ -86,20 +87,30 @@ class WorkloadScheduler:
     # False selects the reference Algorithm-1 loop (golden model);
     # REPRO_SWEEP_REFERENCE=1 flips the default process-wide.
     vectorized: bool = field(default_factory=_vectorized_default)
-    # Per-model SweepGrid cache (vectorized path only).
-    _grids: dict = field(default_factory=dict, compare=False, repr=False)
+    # Per-(model, floor, cap) filtered sweep tables (vectorized path only).
+    _grids: "dict[tuple[str, float, float | None], tuple[tuple[OperatingPoint, ...], np.ndarray, np.ndarray, np.ndarray]]" = field(
+        default_factory=dict, compare=False, repr=False
+    )
     # Per-model fastest batch-1 t_total_ns, for deadline_feasible().
-    _fastest_ns: dict = field(default_factory=dict, compare=False, repr=False)
+    _fastest_ns: "dict[str, int]" = field(
+        default_factory=dict, compare=False, repr=False
+    )
     # Decision memo: (model, depth, floor, cap, budget) → (best, stats,
     # floor_relaxed), valid only in the deadline-slack regime (see
     # decide_memo).  Flushed by invalidate_memo() on fault/budget events.
-    _memo: dict = field(default_factory=dict, compare=False, repr=False)
+    _memo: "dict[tuple[str, int, float, float | None, float], tuple[ScheduleDecision | None, dict[str, int] | None, bool]]" = field(
+        default_factory=dict, compare=False, repr=False
+    )
     # (model, cap) → memo validity horizon in ns (-1 = memo unavailable).
-    _horizons: dict = field(default_factory=dict, compare=False, repr=False)
+    _horizons: "dict[tuple[str, float | None], int]" = field(
+        default_factory=dict, compare=False, repr=False
+    )
     # (model, point) → static batch-1 decision (pure, never invalidated).
-    _static: dict = field(default_factory=dict, compare=False, repr=False)
+    _static: "dict[tuple[str, OperatingPoint], ScheduleDecision]" = field(
+        default_factory=dict, compare=False, repr=False
+    )
     # Observability: {"hits": n, "misses": n} across the memo's lifetime.
-    memo_stats: dict = field(
+    memo_stats: "dict[str, int]" = field(
         default_factory=lambda: {"hits": 0, "misses": 0}, compare=False, repr=False
     )
 
@@ -169,7 +180,7 @@ class WorkloadScheduler:
         power_budget_w: float,
         floor_freq_hz: float,
         cap_freq_hz: "float | None",
-    ) -> "tuple[ScheduleDecision | None, dict | None, bool]":
+    ) -> "tuple[ScheduleDecision | None, dict[str, int] | None, bool]":
         """The decide() body minus logging: (best, stats, floor_relaxed)."""
         # t_avail per batch size: the tightest deadline inside the batch.
         tightest: list[int] = []
@@ -210,6 +221,7 @@ class WorkloadScheduler:
             floor_relaxed=floor_relaxed,
         )
 
+    @hot_path
     def decide_memo(
         self,
         model: str,

@@ -1,0 +1,129 @@
+"""Command-line driver: ``python -m repro.lint``.
+
+Exit status 0 when every finding is suppressed (or none exist), 1 when
+unsuppressed findings remain, 2 on usage errors — so the CI
+``static-analysis`` job is just the bare invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import envcfg
+from repro.lint import (
+    Finding,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    project_findings,
+)
+
+DEFAULT_PATHS = ("src", "scripts", "benchmarks", "examples", "tests")
+
+
+def _stats_payload(findings: list[Finding], files_scanned: int) -> dict[str, object]:
+    per_rule: dict[str, dict[str, int]] = {
+        code: {"unsuppressed": 0, "suppressed": 0} for code in sorted(all_rules())
+    }
+    for finding in findings:
+        bucket = per_rule.setdefault(
+            finding.rule, {"unsuppressed": 0, "suppressed": 0}
+        )
+        bucket["suppressed" if finding.suppressed else "unsuppressed"] += 1
+    return {
+        "generated_by": "python -m repro.lint --stats",
+        "files_scanned": files_scanned,
+        "rules": per_rule,
+        "total_unsuppressed": sum(r["unsuppressed"] for r in per_rule.values()),
+        "total_suppressed": sum(r["suppressed"] for r in per_rule.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based checker for the project's determinism, "
+        "unit-safety, env-config and hot-path invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by repro-lint directives",
+    )
+    parser.add_argument(
+        "--stats",
+        metavar="FILE",
+        help="write per-rule finding/suppression counts as JSON "
+        "(benchmarks/results/lint_baseline.json tracks drift across PRs)",
+    )
+    parser.add_argument(
+        "--env-table",
+        action="store_true",
+        help="print the generated REPRO_* table for EXPERIMENTS.md and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.env_table:
+        print(envcfg.env_table_markdown())
+        return 0
+    if args.list_rules:
+        for code, rule_cls in sorted(all_rules().items()):
+            print(f"{code} [{rule_cls.name}]")
+            print(f"    {rule_cls.rationale}")
+        return 0
+
+    roots = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    missing = [p for p in roots if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr
+        )
+        return 2
+
+    files = sum(1 for _ in iter_python_files(roots))
+    findings = lint_paths(roots)
+    findings.extend(project_findings())
+
+    unsuppressed = [f for f in findings if not f.suppressed]
+    visible = findings if args.show_suppressed else unsuppressed
+
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in visible], indent=2))
+    else:
+        for finding in visible:
+            print(finding.render())
+        suppressed_count = len(findings) - len(unsuppressed)
+        print(
+            f"{len(unsuppressed)} finding(s), {suppressed_count} suppressed, "
+            f"{files} file(s) scanned"
+        )
+
+    if args.stats:
+        stats_path = Path(args.stats)
+        stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(json.dumps(_stats_payload(findings, files), indent=2))
+
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import OrderedDict
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import OrderBookError
 from repro.lob.order import Order, Side

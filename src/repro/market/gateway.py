@@ -10,11 +10,11 @@ fills, so P&L reflects what the book actually had to offer.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ProtocolError
 from repro.lob.matching import MatchingEngine
-from repro.lob.order import Order, OrderType, Side, TimeInForce
+from repro.lob.order import Order, OrderType, TimeInForce
 from repro.protocol.ilink3 import ILink3Cancel, ILink3Order, unframe_sofh
 from repro.protocol.sbe import SecurityDirectory, peek_template_id
 from repro.protocol.ilink3 import CANCEL_ORDER_516, NEW_ORDER_SINGLE_514

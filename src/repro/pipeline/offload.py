@@ -13,11 +13,12 @@ finds no feasible offloading option (Algorithm 1's fallback).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SchedulingError
+from repro.hotpath import hot_path
 from repro.lob.snapshot import DepthSnapshot
 from repro.market.replay import TickTape
 from repro.nn.precision import to_bf16
@@ -369,6 +370,7 @@ class PendingIndexStore:
         dl = self.dl_list
         return [dl[i] - offset for i in self._buf[self._head : self._head + k]]
 
+    @hot_path
     def admit_index(self, index: int, enqueue_ns: int) -> int | None:
         """Admit one arrival; returns the overflow victim's index, if any.
 
@@ -394,6 +396,7 @@ class PendingIndexStore:
         buf.append(index)
         return victim
 
+    @hot_path
     def can_admit_run(self, count: int) -> bool:
         """True when ``count`` consecutive admissions cannot overflow."""
         return self.pending_count() + count <= self.max_pending

@@ -11,7 +11,7 @@ bands), and encodes accepted orders in the exchange's binary format
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -31,14 +31,13 @@ decision log, same traces — at every trace level.
 
 from __future__ import annotations
 
-import os
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import paperdata
+from repro import envcfg, paperdata
 from repro.accelerator.device import AcceleratorCluster, fastest_capped
 from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
 from repro.baselines.profiles import LightTraderProfile, SystemProfile
@@ -68,15 +67,11 @@ from repro.telemetry import (
 )
 
 # Set to "0" (or "false"/"no") to force the reference event pump.
-FAST_LOOP_ENV = "REPRO_FAST_LOOP"
+FAST_LOOP_ENV = envcfg.FAST_LOOP.name
 
 
 def _fast_loop_default() -> bool:
-    return os.environ.get(FAST_LOOP_ENV, "").strip().lower() not in (
-        "0",
-        "false",
-        "no",
-    )
+    return envcfg.get_bool(FAST_LOOP_ENV)
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import envcfg
 from repro.sim.workload import (
     DEFAULT_TRAFFIC,
     DeadlinePolicy,
@@ -46,7 +47,7 @@ __all__ = [
     "workload_cache_key",
 ]
 
-WORKLOAD_CACHE_ENV = "REPRO_WORKLOAD_CACHE"
+WORKLOAD_CACHE_ENV = envcfg.WORKLOAD_CACHE.name
 
 # Bump whenever a generator's RNG stream changes (e.g. the vectorized
 # Hawkes thinning loop consumes draws in a different order than the
@@ -59,7 +60,7 @@ _memory: dict[str, QueryWorkload] = {}
 
 def workload_cache_dir() -> Path | None:
     """The on-disk cache directory, or None when disk caching is off."""
-    value = os.environ.get(WORKLOAD_CACHE_ENV)
+    value = envcfg.get_path(WORKLOAD_CACHE_ENV)
     return Path(value) if value else None
 
 

@@ -29,6 +29,7 @@ import os
 import re
 from pathlib import Path
 
+from repro import envcfg
 from repro.telemetry.decisions import DecisionLog, decision_to_dict, point_to_dict
 from repro.telemetry.registry import NULL_REGISTRY, Counter, Gauge, Histogram, Registry
 from repro.telemetry.ring import RingBuffer
@@ -74,13 +75,13 @@ __all__ = [
     "run_telemetry",
 ]
 
-TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+TRACE_DIR_ENV = envcfg.TRACE_DIR.name
 
 # Per-run tracing detail: 0 = spans + power timeline off (counters and
 # the decision log stay live), 1 = light mode (aggregate counters plus
 # preallocated ring buffers, flushed as summary events at close),
 # 2 = full per-query span traces and per-change power events (default).
-TRACE_LEVEL_ENV = "REPRO_TRACE_LEVEL"
+TRACE_LEVEL_ENV = envcfg.TRACE_LEVEL.name
 
 # Ring capacities for light mode: the most recent window each ring
 # retains before overwriting (the aggregate counters never lose data).
@@ -89,14 +90,7 @@ QUERY_RING_ROWS = 8192
 
 
 def _trace_level_default() -> int:
-    raw = os.environ.get(TRACE_LEVEL_ENV, "").strip()
-    if not raw:
-        return 2
-    try:
-        level = int(raw)
-    except ValueError:
-        return 2
-    return min(max(level, 0), 2)
+    return envcfg.get_int(TRACE_LEVEL_ENV)
 
 
 def configure_logging(level: int | str = logging.INFO) -> logging.Logger:
@@ -285,7 +279,7 @@ def run_telemetry(
     the benchmark drivers and figure reproductions emit traces without
     plumbing a flag through every call site).
     """
-    directory = trace_dir if trace_dir is not None else os.environ.get(TRACE_DIR_ENV)
+    directory = trace_dir if trace_dir is not None else envcfg.get_path(TRACE_DIR_ENV)
     if not directory:
         return None
     path = Path(directory) / f"{_safe_filename(run_name)}.jsonl"

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hotpath import hot_path
+
 __all__ = ["RingBuffer"]
 
 
@@ -43,6 +45,7 @@ class RingBuffer:
         """Rows overwritten after the ring wrapped."""
         return max(0, self.total - self._capacity)
 
+    @hot_path
     def push2(self, a: float, b: float) -> None:
         row = self._data[self._next]
         row[0] = a
@@ -52,6 +55,7 @@ class RingBuffer:
             self._next = 0
         self.total += 1
 
+    @hot_path
     def push3(self, a: float, b: float, c: float) -> None:
         row = self._data[self._next]
         row[0] = a

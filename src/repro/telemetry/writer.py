@@ -11,7 +11,8 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import IO, Iterator
+from collections.abc import Iterator
+from typing import IO
 
 __all__ = ["TraceWriter", "iter_events", "read_events"]
 

@@ -1,6 +1,5 @@
 """Integration tests for the back-testing simulator."""
 
-import numpy as np
 import pytest
 
 from repro import paperdata

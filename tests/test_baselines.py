@@ -7,7 +7,6 @@ import pytest
 from repro import paperdata
 from repro.accelerator import DVFSTable
 from repro.baselines import (
-    LightTraderProfile,
     ModelCost,
     benchmark_costs,
     cost_from_model,

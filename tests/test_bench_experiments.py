@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import paperdata
 from repro.bench import (
     headline_workload,
     render_table,

@@ -1,6 +1,5 @@
 """Tests for the CGRA compiler pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.accelerator import DEFAULT_CONFIG, AcceleratorConfig

@@ -1,0 +1,199 @@
+"""Behavioural pin for :mod:`repro.envcfg`.
+
+The registry replaced ad-hoc ``os.environ`` parsing at four call sites;
+these tests pin the exact semantics those sites relied on — parse
+directions for the two bool switches, clamping for the numeric grids,
+error policy for junk — plus the round-trip guarantee: every declared
+variable is documented in EXPERIMENTS.md's generated table.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import envcfg
+from repro.errors import SimulationError
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for var in envcfg.declared():
+        monkeypatch.delenv(var.name, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+def test_registry_contents_and_defaults():
+    by_name = {var.name: var for var in envcfg.declared()}
+    assert set(by_name) == {
+        "REPRO_TRACE_DIR",
+        "REPRO_TRACE_LEVEL",
+        "REPRO_FAST_LOOP",
+        "REPRO_SWEEP_REFERENCE",
+        "REPRO_WORKLOAD_CACHE",
+        "REPRO_BENCH_JOBS",
+        "REPRO_BENCH_RETRIES",
+        "REPRO_BENCH_DURATION",
+        "REPRO_BENCH_CRASH_FILE",
+    }
+    assert by_name["REPRO_FAST_LOOP"].default is True
+    assert by_name["REPRO_SWEEP_REFERENCE"].default is False
+    assert by_name["REPRO_TRACE_LEVEL"].default == 2
+    assert by_name["REPRO_BENCH_JOBS"].default == 1
+    assert by_name["REPRO_BENCH_DURATION"].default == 60.0
+
+
+def test_lookup_rejects_unregistered_names():
+    assert envcfg.is_declared("REPRO_FAST_LOOP")
+    assert not envcfg.is_declared("REPRO_NOPE")
+    with pytest.raises(SimulationError):
+        envcfg.lookup("REPRO_NOPE")
+    with pytest.raises(SimulationError):
+        envcfg.raw("REPRO_NOPE")
+
+
+def test_declarations_validate_themselves():
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("NOT_REPRO", "int", 1, "doc")
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("REPRO_X", "complex", 1, "doc")
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("REPRO_X", "int", 1, "doc", on_error="explode")
+
+
+def test_accessors_enforce_declared_kind():
+    with pytest.raises(SimulationError):
+        envcfg.get_bool("REPRO_TRACE_LEVEL")
+    with pytest.raises(SimulationError):
+        envcfg.get_int("REPRO_FAST_LOOP")
+    with pytest.raises(SimulationError):
+        envcfg.get_float("REPRO_BENCH_JOBS")
+    with pytest.raises(SimulationError):
+        envcfg.get_path("REPRO_FAST_LOOP")
+
+
+# ---------------------------------------------------------------------------
+# bool: parse direction follows the declared default
+# ---------------------------------------------------------------------------
+
+
+def test_default_on_bool_turns_off_only_on_false_tokens(monkeypatch):
+    assert envcfg.get_bool("REPRO_FAST_LOOP") is True
+    for token in ("0", "false", "no", "FALSE", " No "):
+        monkeypatch.setenv("REPRO_FAST_LOOP", token)
+        assert envcfg.get_bool("REPRO_FAST_LOOP") is False
+    for token in ("1", "true", "anything-else"):
+        monkeypatch.setenv("REPRO_FAST_LOOP", token)
+        assert envcfg.get_bool("REPRO_FAST_LOOP") is True
+
+
+def test_default_off_bool_turns_on_only_on_true_tokens(monkeypatch):
+    assert envcfg.get_bool("REPRO_SWEEP_REFERENCE") is False
+    for token in ("1", "true", "yes", "TRUE", " Yes "):
+        monkeypatch.setenv("REPRO_SWEEP_REFERENCE", token)
+        assert envcfg.get_bool("REPRO_SWEEP_REFERENCE") is True
+    for token in ("0", "false", "anything-else"):
+        monkeypatch.setenv("REPRO_SWEEP_REFERENCE", token)
+        assert envcfg.get_bool("REPRO_SWEEP_REFERENCE") is False
+
+
+# ---------------------------------------------------------------------------
+# int / float: defaults, clamping, error policy
+# ---------------------------------------------------------------------------
+
+
+def test_int_default_and_override():
+    assert envcfg.get_int("REPRO_BENCH_JOBS") == 1
+    assert envcfg.get_int("REPRO_BENCH_JOBS", default=4) == 4
+
+
+def test_int_clamps_into_declared_range(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+    assert envcfg.get_int("REPRO_BENCH_JOBS") == 1  # minimum=1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "-3")
+    assert envcfg.get_int("REPRO_BENCH_JOBS") == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "8")
+    assert envcfg.get_int("REPRO_BENCH_JOBS") == 8
+    monkeypatch.setenv("REPRO_TRACE_LEVEL", "9")
+    assert envcfg.get_int("REPRO_TRACE_LEVEL") == 2  # maximum=2
+
+
+def test_int_error_policy_raise_vs_default(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "lots")
+    with pytest.raises(SimulationError, match="must be an integer"):
+        envcfg.get_int("REPRO_BENCH_JOBS")
+    monkeypatch.setenv("REPRO_TRACE_LEVEL", "verbose")
+    assert envcfg.get_int("REPRO_TRACE_LEVEL") == 2  # on_error='default'
+
+
+def test_empty_value_means_default(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "")
+    assert envcfg.get_int("REPRO_BENCH_JOBS") == 1
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "")
+    assert envcfg.get_float("REPRO_BENCH_DURATION") == 60.0
+
+
+def test_float_parse_clamp_and_raise(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "2.5")
+    assert envcfg.get_float("REPRO_BENCH_DURATION") == 2.5
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "-1")
+    assert envcfg.get_float("REPRO_BENCH_DURATION") == 0.0  # minimum=0
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "brief")
+    with pytest.raises(SimulationError, match="must be a number"):
+        envcfg.get_float("REPRO_BENCH_DURATION")
+
+
+# ---------------------------------------------------------------------------
+# path
+# ---------------------------------------------------------------------------
+
+
+def test_path_unset_and_empty_mean_none(monkeypatch):
+    assert envcfg.get_path("REPRO_TRACE_DIR") is None
+    monkeypatch.setenv("REPRO_TRACE_DIR", "")
+    assert envcfg.get_path("REPRO_TRACE_DIR") is None
+    monkeypatch.setenv("REPRO_TRACE_DIR", "/tmp/traces")
+    assert envcfg.get_path("REPRO_TRACE_DIR") == "/tmp/traces"
+    assert envcfg.raw("REPRO_TRACE_DIR") == "/tmp/traces"
+
+
+# ---------------------------------------------------------------------------
+# round-trip: registry <-> documentation
+# ---------------------------------------------------------------------------
+
+
+def test_env_table_lists_every_declared_variable():
+    table = envcfg.env_table_markdown()
+    for var in envcfg.declared():
+        assert f"`{var.name}`" in table
+        assert var.default_text in table
+
+
+def test_experiments_md_documents_every_variable_inside_markers():
+    experiments = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    block = re.search(
+        r"<!-- env-table:begin -->\n(.*?)<!-- env-table:end -->",
+        text,
+        re.DOTALL,
+    )
+    assert block is not None, "EXPERIMENTS.md lost its env-table markers"
+    generated = envcfg.env_table_markdown()
+    assert generated in block.group(1), (
+        "EXPERIMENTS.md env table is stale — regenerate with "
+        "`python -m repro.lint --env-table`"
+    )
+
+
+def test_default_text_rendering():
+    assert envcfg.TRACE_DIR.default_text == "unset"
+    assert envcfg.FAST_LOOP.default_text == "on"
+    assert envcfg.SWEEP_REFERENCE.default_text == "off"
+    assert envcfg.BENCH_DURATION.default_text == "60"
+    assert envcfg.TRACE_LEVEL.default_text == "2"

@@ -1,7 +1,6 @@
 """Property tests for depth snapshots and the offload queue."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lob import DepthSnapshot

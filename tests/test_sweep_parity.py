@@ -11,11 +11,10 @@ budgets and frequency floors and require
   rejected_deadline / rejected_power counts, floor relaxation).
 """
 
-import os
-
 import numpy as np
 import pytest
 
+from repro import envcfg
 from repro.accelerator.power import DVFSTable
 from repro.baselines.modelcosts import ModelCost
 from repro.baselines.profiles import lighttrader_profile
@@ -122,7 +121,7 @@ def test_reference_env_flag(profile, monkeypatch):
     assert WorkloadScheduler(profile, table).vectorized is False
     monkeypatch.delenv(SWEEP_REFERENCE_ENV)
     assert WorkloadScheduler(profile, table).vectorized is True
-    assert os.environ.get(SWEEP_REFERENCE_ENV) is None
+    assert envcfg.raw(SWEEP_REFERENCE_ENV) is None
 
 
 def test_vectorized_falls_back_without_grid_support(profile):
