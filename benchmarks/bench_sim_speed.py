@@ -31,6 +31,17 @@ from repro.accelerator.power import DVFSTable
 from repro.baselines import lighttrader_profile
 from repro.bench import bench_duration_s, headline_workload, run_fig11, run_fig13
 from repro.core.scheduler import WorkloadScheduler
+from repro.metrics import MetricRegistry
+from repro.metrics.manifest import build_manifest, write_manifest
+from repro.sim.backtest import Backtester, SimConfig
+from repro.sim.workload_cache import cached_synthetic_workload
+
+# The canonical manifest run: pinned duration/seed/config so the metric
+# summaries (and hence the committed baseline diff) are byte-stable
+# across machines — nothing in the manifest's gated sections depends on
+# wall-clock.
+MANIFEST_DURATION_S = 6.0
+MANIFEST_SEED = 1
 
 
 def _decision_situations(n: int = 200, seed: int = 7):
@@ -199,6 +210,77 @@ class TestEndToEndFigurePath:
             # needs the standard duration: short smoke workloads leave
             # per-run setup unamortised.
             assert vs_baseline >= 3.0
+
+
+class TestLatencyManifest:
+    def test_bench_latency_manifest(self, benchmark, record_table):
+        """Canonical pinned run: histogram-derived latency percentiles
+        into BENCH_sim_speed.json, full metric manifest into
+        ``benchmarks/results/run_manifest.json`` for the CI diff gate."""
+        workload = cached_synthetic_workload(
+            MANIFEST_DURATION_S, seed=MANIFEST_SEED, name="manifest"
+        )
+        config = SimConfig(
+            model="deeplob",
+            n_accelerators=2,
+            workload_scheduling=True,
+            dvfs_scheduling=True,
+            power_condition="limited",
+        )
+        registry = MetricRegistry()
+        bt = Backtester(workload, lighttrader_profile(), config, metrics=registry)
+
+        state = {}
+
+        def measure():
+            t0 = time.perf_counter()
+            state["result"] = bt.run()
+            state["elapsed_s"] = time.perf_counter() - t0
+            return state["result"]
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        result, elapsed = state["result"], state["elapsed_s"]
+        t2t = registry.histogram("tick_to_trade_ns")
+        assert t2t.count > 0, "manifest run recorded no tick-to-trade samples"
+        p50, p99 = t2t.percentile(50.0), t2t.percentile(99.0)
+        qps = result.n_queries / elapsed
+
+        manifest = build_manifest(
+            run={
+                "system": "lighttrader[ws+ds]",
+                "profile": "lighttrader",
+                "scheme": "ws+ds",
+                "model": config.model,
+                "workload": workload.name,
+                "workload_ticks": len(workload),
+                "duration_s": MANIFEST_DURATION_S,
+            },
+            registry=registry,
+            config=dataclasses.asdict(config),
+            result=result,
+            seeds={"workload": MANIFEST_SEED},
+            perf={"queries_per_s": qps, "elapsed_s": elapsed},
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_manifest(RESULTS_DIR / "run_manifest.json", manifest)
+
+        record_table(
+            "sim_speed_latency",
+            "Canonical run latency (histogram-derived)\n"
+            f"  tick-to-trade p50: {p50 / 1e3:,.1f} us   p99: {p99 / 1e3:,.1f} us\n"
+            f"  ({t2t.count} completions, {qps:,.0f} queries/s)",
+        )
+        _merge_results(
+            latency={
+                "duration_s": MANIFEST_DURATION_S,
+                "seed": MANIFEST_SEED,
+                "n_queries": result.n_queries,
+                "tick_to_trade_p50_ns": p50,
+                "tick_to_trade_p99_ns": p99,
+                "queries_per_s": qps,
+            }
+        )
+        assert p50 <= p99
 
 
 def _merge_results(**sections) -> None:

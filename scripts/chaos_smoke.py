@@ -8,7 +8,10 @@ DMA stalls and feed loss/dup/reorder — and asserts:
 - zero unhandled exceptions and zero :class:`RunFailure` placeholders,
 - every run still answers queries (the cluster never wedges),
 - the miss rate stays bounded (degraded, not collapsed),
-- the whole grid is bit-deterministic (a second pass reproduces it).
+- the whole grid is bit-deterministic (a second pass reproduces it),
+- the metric registry *observed* the storm: `faults.applied.*`,
+  quarantines and feed perturbations show up in the counters, so the
+  gate checks what actually bit, not just that nothing crashed.
 
 Exit code 0 on success; CI runs this as the ``chaos-smoke`` job:
 
@@ -17,11 +20,79 @@ Exit code 0 on success; CI runs this as the ``chaos-smoke`` job:
 
 import sys
 
+from repro.baselines.profiles import lighttrader_profile
 from repro.bench.experiments import run_degradation
+from repro.faults.plan import seeded_plan
+from repro.metrics import MetricRegistry
+from repro.sim.backtest import Backtester, SimConfig
+from repro.sim.workload import synthetic_workload
 
 # A fault storm may cost responses, but over half the answers must
 # survive it or "graceful degradation" is not what happened.
 MAX_MISS_RATE = 0.5
+
+
+def check_fault_counters(duration: float, seed: int) -> int:
+    """One instrumented ws+ds run under a dense storm: the registry
+    must record applied faults, quarantines and feed perturbations."""
+    workload = synthetic_workload(duration_s=duration, seed=seed)
+    plan = seeded_plan(
+        duration_s=duration,
+        n_accelerators=4,
+        n_ticks=len(workload),
+        seed=seed,
+        device_failure_rate_hz=2.0,
+        failure_downtime_s=0.3,
+        corruption_rate_hz=1.0,
+        throttle_rate_hz=1.0,
+        throttle_duration_s=0.2,
+        stall_rate_hz=1.0,
+        stall_duration_us=200.0,
+        packet_loss_prob=0.02,
+        duplicate_prob=0.02,
+        reorder_prob=0.02,
+    )
+    registry = MetricRegistry()
+    config = SimConfig(
+        workload_scheduling=True, dvfs_scheduling=True, n_accelerators=4
+    )
+    Backtester(
+        workload, lighttrader_profile(), config, faults=plan, metrics=registry
+    ).run()
+    counters = registry.snapshot()["counters"]
+
+    status = 0
+    applied = {
+        name: count
+        for name, count in counters.items()
+        if name.startswith("faults.applied.")
+    }
+    if not applied or sum(applied.values()) == 0:
+        print("FAIL: fault storm ran but faults.applied.* counters are empty")
+        status = 1
+    if counters.get("device.quarantines", 0) == 0:
+        print("FAIL: device failures injected but device.quarantines == 0")
+        status = 1
+    feed_observed = (
+        counters.get("faults.feed_dropped", 0)
+        + counters.get("faults.feed_duplicates_suppressed", 0)
+        + counters.get("faults.feed_reordered", 0)
+        + counters.get("faults.stalled_arrivals", 0)
+    )
+    if feed_observed == 0:
+        print("FAIL: feed faults injected but no feed perturbation counters")
+        status = 1
+    if counters.get("queries.responded", 0) == 0:
+        print("FAIL: instrumented storm run answered no queries")
+        status = 1
+    if status == 0:
+        summary = ", ".join(f"{k.split('.')[-1]}={v}" for k, v in sorted(applied.items()))
+        print(
+            f"fault counters OK: {summary}; "
+            f"quarantines={counters.get('device.quarantines', 0)}, "
+            f"feed perturbations={feed_observed}"
+        )
+    return status
 
 
 def main() -> int:
@@ -60,6 +131,7 @@ def main() -> int:
     if first.miss != second.miss or first.pnl != second.pnl:
         print("FAIL: fault storm is not bit-deterministic across passes")
         status = 1
+    status |= check_fault_counters(duration, seed)
     if status == 0:
         print(
             f"chaos smoke OK: {len(first.miss)} schemes x "

@@ -59,6 +59,10 @@ class Accelerator:
         # operating points the schedulers may program.
         self.healthy = True
         self.failures = 0
+        # PMIC transitions actually applied (idle repoints, re-admission
+        # reprogramming, in-flight rescales) — counted whether or not the
+        # on_transition telemetry hook is bound.
+        self.transitions = 0
         self.cap_hz: float | None = None
         # Monotone state epoch: bumped on every mutation that can change
         # scheduling-visible state (point, busy window, health, cap).
@@ -102,6 +106,7 @@ class Accelerator:
             )
         if point == self.point:
             return now
+        self.transitions += 1
         if self.on_transition is not None:
             self.on_transition(now, self.accel_id, self.point, point, reason)
         self.point = point
@@ -141,8 +146,12 @@ class Accelerator:
         target = point if point is not None else self.table.min_point
         if self.cap_hz is not None and target.freq_hz > self.cap_hz + 1e-3:
             target = fastest_capped(self.table, self.cap_hz)
-        if target != self.point and self.on_transition is not None:
-            self.on_transition(now, self.accel_id, self.point, target, "readmission")
+        if target != self.point:
+            self.transitions += 1
+            if self.on_transition is not None:
+                self.on_transition(
+                    now, self.accel_id, self.point, target, "readmission"
+                )
         self.healthy = True
         self.point = target
         self.busy_until = now
@@ -215,6 +224,8 @@ class Accelerator:
         if new_remaining_ns < 0:
             raise AcceleratorError("remaining time cannot be negative")
         switch = DVFS_SWITCH_NS if point != self.point else 0
+        if switch:
+            self.transitions += 1
         if switch and self.on_transition is not None:
             reason = (
                 "inflight_boost" if point.freq_hz > self.point.freq_hz

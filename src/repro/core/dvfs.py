@@ -59,6 +59,20 @@ class DVFSScheduler:
     _power_cache: dict[tuple[float, float, int], float] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
+    # Observability: lifetime counts folded into the run's MetricRegistry.
+    # reclaims / boost_transitions / save_transitions are parity-held
+    # (both event pumps drive them identically); redistribute_calls is an
+    # ``impl.`` diagnostic (the fast pump gates redistribution by epoch).
+    stats: dict[str, int] = field(
+        compare=False,
+        repr=False,
+        default_factory=lambda: {
+            "reclaims": 0,
+            "redistribute_calls": 0,
+            "boost_transitions": 0,
+            "save_transitions": 0,
+        },
+    )
 
     def __post_init__(self) -> None:
         fmax = max(point.freq_hz for point in self.table)
@@ -94,6 +108,7 @@ class DVFSScheduler:
         transitions = 0
         for device in cluster.busy_devices(now):
             transitions += self._scale_down_busy(device, now)
+        self.stats["save_transitions"] += transitions
         if transitions and self.log is not None:
             self.log.record_save_power(now, transitions)
         return transitions
@@ -132,6 +147,7 @@ class DVFSScheduler:
         busy accelerators are slowed (within their deadline margins)
         until the requested headroom exists.  Returns True on success.
         """
+        self.stats["reclaims"] += 1
         if cluster.headroom(now) >= needed_w:
             return True
         # Slow the fastest (most boosted) devices first.
@@ -157,6 +173,7 @@ class DVFSScheduler:
         share when idle devices exist), so boosting in-flight batches
         never starves the next batch of power.
         """
+        self.stats["redistribute_calls"] += 1
         transitions = 0
         adjusted: set[int] = set()
         floors = self._boost_floor_ns
@@ -174,6 +191,7 @@ class DVFSScheduler:
                 and device.busy_until - now > floors.get(device.point.freq_hz, 0.0)
             ]
             if not scan:
+                self.stats["boost_transitions"] += transitions
                 if transitions and self.log is not None:
                     self.log.record_redistribute(
                         now, transitions, cluster.headroom(now)
@@ -191,6 +209,7 @@ class DVFSScheduler:
                     best_gain = gain
                     best = (device, point, remaining, power)
             if best is None:
+                self.stats["boost_transitions"] += transitions
                 if transitions and self.log is not None:
                     self.log.record_redistribute(
                         now, transitions, cluster.headroom(now)

@@ -109,9 +109,19 @@ class WorkloadScheduler:
     _static: "dict[tuple[str, OperatingPoint], ScheduleDecision]" = field(
         default_factory=dict, compare=False, repr=False
     )
-    # Observability: {"hits": n, "misses": n} across the memo's lifetime.
+    # Observability across the scheduler's lifetime: memo hit/miss
+    # counts, memo invalidations, and full Algorithm-1 sweeps executed.
+    # Folded into the run's MetricRegistry under the ``impl.`` namespace
+    # (the fast and reference pumps legitimately differ here).
     memo_stats: "dict[str, int]" = field(
-        default_factory=lambda: {"hits": 0, "misses": 0}, compare=False, repr=False
+        default_factory=lambda: {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "sweeps": 0,
+        },
+        compare=False,
+        repr=False,
     )
 
     def __post_init__(self) -> None:
@@ -182,6 +192,7 @@ class WorkloadScheduler:
         cap_freq_hz: "float | None",
     ) -> "tuple[ScheduleDecision | None, dict[str, int] | None, bool]":
         """The decide() body minus logging: (best, stats, floor_relaxed)."""
+        self.memo_stats["sweeps"] += 1
         # t_avail per batch size: the tightest deadline inside the batch.
         tightest: list[int] = []
         running = deadlines[0]
@@ -281,6 +292,7 @@ class WorkloadScheduler:
         discontinuities keeps the table bounded to the signatures of the
         *current* regime and makes the invalidation contract explicit.
         """
+        self.memo_stats["invalidations"] += 1
         self._memo.clear()
 
     def _memo_horizon(self, model: str, cap_freq_hz: "float | None") -> int:

@@ -192,6 +192,47 @@ BENCH_CRASH_FILE = _declare(
     )
 )
 
+METRICS = _declare(
+    EnvVar(
+        "REPRO_METRICS",
+        "int",
+        1,
+        "Metrics-registry enable level: 0 off (shared null instruments, "
+        "zero allocation), 1 on (counters, gauges, log2 histograms, "
+        "run-manifest summaries). Junk values fall back to 1 — metrics "
+        "must never crash a run.",
+        minimum=0,
+        maximum=1,
+        on_error="default",
+    )
+)
+
+METRICS_FLUSH_NS = _declare(
+    EnvVar(
+        "REPRO_METRICS_FLUSH_NS",
+        "int",
+        0,
+        "Sim-time metrics flush cadence in nanoseconds: every interval, "
+        "a metrics snapshot event is appended to the run's JSONL trace "
+        "(requires REPRO_TRACE_DIR). 0 disables periodic flushing; the "
+        "end-of-run snapshot is always available via the run manifest.",
+        minimum=0,
+        on_error="default",
+    )
+)
+
+METRICS_EXPORT = _declare(
+    EnvVar(
+        "REPRO_METRICS_EXPORT",
+        "path",
+        None,
+        "Directory for per-run metric exports: each back-test writes "
+        "<run>.manifest.json (config, env snapshot, metric summaries, "
+        "histogram percentiles) and <run>.prom (Prometheus-style text "
+        "exposition) there; unset disables exporting.",
+    )
+)
+
 
 def declared() -> Iterator[EnvVar]:
     """All registered variables, in declaration (documentation) order."""

@@ -68,6 +68,13 @@ class FaultInjector:
         self.feed_duplicates_suppressed = 0
         self.feed_reordered = 0
         self.stalled_arrivals = 0
+        # Cluster faults actually applied, keyed by fault kind — folded
+        # into the run's MetricRegistry as ``faults.applied.<kind>``.
+        self.applied: dict[str, int] = {}
+
+    def note_applied(self, kind: str) -> None:
+        """Record that one cluster fault of ``kind`` actually fired."""
+        self.applied[kind] = self.applied.get(kind, 0) + 1
 
     # -- schedule construction ---------------------------------------------------
 

@@ -36,5 +36,10 @@ MANIFEST: frozenset[str] = frozenset(
     {
         "repro/telemetry/__init__.py::Telemetry.sample_power",
         "repro/telemetry/__init__.py::Telemetry.record_completion_light",
+        "repro/sim/metrics.py::MetricsCollector.record_completion",
+        "repro/sim/metrics.py::MetricsCollector.record_completion_ids",
+        "repro/sim/metrics.py::MetricsCollector.record_drop",
+        "repro/sim/metrics.py::MetricsCollector.record_drop_ids",
+        "repro/sim/metrics.py::MetricsCollector.sample_power",
     }
 )

@@ -1,0 +1,254 @@
+"""Regression diff over two run manifests.
+
+Flattens each manifest into ``kind:name[:stat]`` metric paths, compares
+them pairwise with per-metric relative thresholds, and classifies every
+change by *direction*: a metric whose name marks it higher-is-worse
+(latencies, misses, drops, faults, queue depth) regresses when it grows;
+a higher-is-better metric (responses, response rate) regresses when it
+shrinks; metrics with no inferable direction (batch sizes, transition
+counts, wall-clock perf figures) are reported as informational changes
+but never fail the gate — CI stability must not hinge on quantities the
+system is free to trade off.
+
+``impl.``-prefixed metrics are excluded entirely: they are
+implementation diagnostics that differ between the fast and reference
+event pumps by design.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+
+from repro.metrics import IMPL_PREFIX
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "diff_manifests",
+    "flatten_manifest",
+    "metric_direction",
+    "render_diff",
+]
+
+DEFAULT_REL_TOL = 0.05
+
+# Substrings marking a metric where *more* (or larger) is worse.
+_HIGHER_IS_WORSE = (
+    "miss",
+    "drop",
+    "late",
+    "fault",
+    "quarantine",
+    "gap",
+    "stale",
+    "overflow",
+    "lost",
+    "duplicate",
+    "corrupt",
+    "unschedulable",
+    "latency",
+    "tick_to_trade",
+    "t2t",
+    "stall",
+    "high_water",
+    "invalidation",
+    "energy",
+    "power",
+)
+
+# Substrings marking a metric where *more* is better.
+_LOWER_IS_WORSE = (
+    "responded",
+    "response_rate",
+    "in_time",
+    "resync",
+    "queries_per_s",
+    "throughput",
+)
+
+# Sections whose values never gate (machine-dependent wall-clock perf).
+_INFORMATIONAL_PREFIXES = ("perf:",)
+
+
+def metric_direction(path: str) -> str:
+    """'up_bad', 'down_bad' or 'neutral' for one flattened metric path."""
+    lowered = path.lower()
+    for prefix in _INFORMATIONAL_PREFIXES:
+        if lowered.startswith(prefix):
+            return "neutral"
+    for token in _LOWER_IS_WORSE:
+        if token in lowered:
+            return "down_bad"
+    for token in _HIGHER_IS_WORSE:
+        if token in lowered:
+            return "up_bad"
+    return "neutral"
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def flatten_manifest(manifest: dict) -> dict[str, float]:
+    """Flatten one manifest into ``path -> value`` (``impl.`` and NaN
+    entries skipped)."""
+    flat: dict[str, float] = {}
+    metrics = manifest.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        if name.startswith(IMPL_PREFIX):
+            continue
+        flat[f"counter:{name}"] = float(value)
+    for name, gauge in metrics.get("gauges", {}).items():
+        if name.startswith(IMPL_PREFIX):
+            continue
+        flat[f"gauge:{name}"] = float(gauge["value"])
+        flat[f"gauge:{name}:max"] = float(gauge["max"])
+    for name, hist in metrics.get("histograms", {}).items():
+        if name.startswith(IMPL_PREFIX):
+            continue
+        for stat in ("count", "mean", "p50", "p90", "p99"):
+            value = hist.get(stat)
+            if value is not None:
+                flat[f"hist:{name}:{stat}"] = float(value)
+    for field, value in manifest.get("result", {}).items():
+        if _is_number(value):
+            flat[f"result:{field}"] = float(value)
+    for field, value in manifest.get("perf", {}).items():
+        if _is_number(value):
+            flat[f"perf:{field}"] = float(value)
+    return {k: v for k, v in flat.items() if not math.isnan(v)}
+
+
+def _threshold_for(
+    path: str, default_rel: float, overrides: list[tuple[str, float]]
+) -> float:
+    """Last matching ``--threshold`` glob wins; else the default."""
+    chosen = default_rel
+    for pattern, rel in overrides:
+        if fnmatch.fnmatch(path, pattern):
+            chosen = rel
+    return chosen
+
+
+def diff_manifests(
+    baseline: dict,
+    candidate: dict,
+    rel_tol: float = DEFAULT_REL_TOL,
+    thresholds: list[tuple[str, float]] | None = None,
+) -> list[dict]:
+    """Compare two manifests; returns one entry per differing metric.
+
+    Each entry: ``{metric, baseline, candidate, delta, rel, direction,
+    threshold, status}`` with status ``regression`` | ``improvement`` |
+    ``change`` (neutral direction) — metrics within threshold, and
+    metrics present on only one side with value 0 on the other treated
+    by their actual delta.  A metric missing from one manifest entirely
+    is compared against 0 and additionally tagged ``missing_side``.
+    """
+    flat_a = flatten_manifest(baseline)
+    flat_b = flatten_manifest(candidate)
+    overrides = thresholds or []
+    entries: list[dict] = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        a = flat_a.get(path)
+        b = flat_b.get(path)
+        base = a if a is not None else 0.0
+        new = b if b is not None else 0.0
+        delta = new - base
+        if delta == 0.0 and a is not None and b is not None:
+            continue
+        scale = max(abs(base), abs(new))
+        rel = abs(delta) / scale if scale > 0 else 0.0
+        threshold = _threshold_for(path, rel_tol, overrides)
+        direction = metric_direction(path)
+        if rel <= threshold:
+            continue
+        if direction == "up_bad":
+            status = "regression" if delta > 0 else "improvement"
+        elif direction == "down_bad":
+            status = "regression" if delta < 0 else "improvement"
+        else:
+            status = "change"
+        entry = {
+            "metric": path,
+            "baseline": base,
+            "candidate": new,
+            "delta": delta,
+            "rel": rel,
+            "direction": direction,
+            "threshold": threshold,
+            "status": status,
+        }
+        if a is None:
+            entry["missing_side"] = "baseline"
+        elif b is None:
+            entry["missing_side"] = "candidate"
+        entries.append(entry)
+    return entries
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_diff(
+    entries: list[dict],
+    fmt: str = "text",
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+) -> str:
+    """Render diff entries as text, markdown or JSON."""
+    regressions = [e for e in entries if e["status"] == "regression"]
+    if fmt == "json":
+        return json.dumps(
+            {
+                "baseline": baseline_name,
+                "candidate": candidate_name,
+                "regressions": len(regressions),
+                "entries": entries,
+            },
+            indent=2,
+        )
+    lines: list[str] = []
+    if fmt == "markdown":
+        lines.append(f"### Metrics diff: `{baseline_name}` → `{candidate_name}`")
+        lines.append("")
+        if not entries:
+            lines.append("No metric deltas beyond thresholds. ✅")
+        else:
+            lines.append("| metric | baseline | candidate | Δ | rel | status |")
+            lines.append("| --- | ---: | ---: | ---: | ---: | --- |")
+            for e in entries:
+                lines.append(
+                    f"| `{e['metric']}` | {_fmt(e['baseline'])} "
+                    f"| {_fmt(e['candidate'])} | {_fmt(e['delta'])} "
+                    f"| {e['rel']:.1%} | {e['status']} |"
+                )
+            lines.append("")
+            lines.append(
+                f"**{len(regressions)} regression(s)**, "
+                f"{len(entries) - len(regressions)} other delta(s)."
+            )
+        return "\n".join(lines)
+    # Plain text.
+    lines.append(f"metrics diff: {baseline_name} -> {candidate_name}")
+    if not entries:
+        lines.append("  clean: no metric deltas beyond thresholds")
+    for e in entries:
+        marker = {"regression": "REGRESSION", "improvement": "improved"}.get(
+            e["status"], "changed"
+        )
+        lines.append(
+            f"  [{marker}] {e['metric']}: {_fmt(e['baseline'])} -> "
+            f"{_fmt(e['candidate'])} ({e['delta']:+.6g}, {e['rel']:.1%} "
+            f"over {e['threshold']:.0%} threshold)"
+        )
+    if entries:
+        lines.append(
+            f"  {len(regressions)} regression(s), "
+            f"{len(entries) - len(regressions)} other delta(s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Run manifests: one JSON document summarising one back-test/bench run.
+
+A manifest pins everything needed to compare two runs of "the same"
+experiment: the run identity (system/model/scheme), the full
+:class:`~repro.sim.backtest.SimConfig`, the ``REPRO_*`` environment
+snapshot (from the :mod:`repro.envcfg` registry, so the capture surface
+is exactly the declared configuration surface), the
+:class:`~repro.sim.metrics.RunResult` digest, and the metric registry's
+aggregate snapshot including histogram percentiles.  Manifests are
+deliberately wall-clock-free: two runs of the same seed and config
+produce byte-identical manifests, which is what lets CI commit one as a
+baseline and gate on ``python -m repro.metrics diff``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro import envcfg
+from repro.errors import SimulationError
+from repro.metrics import MetricRegistry
+
+__all__ = [
+    "SCHEMA",
+    "build_manifest",
+    "env_snapshot",
+    "load_manifest",
+    "write_manifest",
+]
+
+SCHEMA = "repro.metrics.run_manifest/v1"
+
+
+def env_snapshot() -> dict[str, str | None]:
+    """The raw value of every declared ``REPRO_*`` variable (or None)."""
+    return {var.name: envcfg.raw(var.name) for var in envcfg.declared()}
+
+
+def _result_dict(result) -> dict:
+    """A RunResult (or compatible dataclass) as a JSON-able dict with the
+    derived rates the diff gates on."""
+    out = dataclasses.asdict(result)
+    rate = getattr(result, "response_rate", None)
+    if rate is not None:
+        out["response_rate"] = rate
+        out["miss_rate"] = result.miss_rate
+    return out
+
+
+def build_manifest(
+    *,
+    run: dict,
+    registry: MetricRegistry,
+    config: dict | None = None,
+    result=None,
+    seeds: dict | None = None,
+    perf: dict | None = None,
+) -> dict:
+    """Assemble one run manifest.
+
+    Args:
+        run: Identity fields (system, model, scheme, workload name, ...).
+        registry: The run's metric registry; its full snapshot (including
+            ``impl.`` diagnostics) is embedded — the *diff* is what
+            excludes ``impl.`` from gating, so manifests stay useful for
+            debugging implementation behaviour.
+        config: The SimConfig (or equivalent) as a dict.
+        result: The RunResult dataclass, embedded with derived rates.
+        seeds: Seeds used for the workload / fault plan.
+        perf: Optional wall-clock performance figures (queries/s etc.);
+            these live in their own section precisely because they are
+            machine-dependent — the diff treats them as informational.
+    """
+    manifest = {
+        "schema": SCHEMA,
+        "run": dict(run),
+        "config": dict(config) if config else {},
+        "seeds": dict(seeds) if seeds else {},
+        "env": env_snapshot(),
+        "result": _result_dict(result) if result is not None else {},
+        "metrics": registry.snapshot(),
+    }
+    if perf:
+        manifest["perf"] = dict(perf)
+    return manifest
+
+
+def write_manifest(path: str | os.PathLike, manifest: dict) -> Path:
+    """Write ``manifest`` as pretty JSON; returns the resolved path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_manifest(path: str | os.PathLike) -> dict:
+    """Read and validate one manifest file."""
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text())
+    except FileNotFoundError:
+        raise SimulationError(f"no such manifest: {p}") from None
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"corrupt manifest {p}: {exc}") from None
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise SimulationError(f"not a run manifest (no metrics section): {p}")
+    if data.get("schema") != SCHEMA:
+        raise SimulationError(
+            f"unsupported manifest schema {data.get('schema')!r} in {p} "
+            f"(expected {SCHEMA})"
+        )
+    return data

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
 from repro.lob.book import LimitOrderBook
+from repro.metrics import MetricRegistry, NULL_METRICS
 from repro.lob.events import BookUpdate, MarketEvent, TradeTick, UpdateAction
 from repro.lob.order import Order, Side
 from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
@@ -142,12 +143,23 @@ class LocalBookMirror:
 class FeedHandler:
     """Parser + per-symbol book mirrors + feed sequence tracking."""
 
-    def __init__(self, parser: PacketParser) -> None:
+    def __init__(
+        self, parser: PacketParser, metrics: MetricRegistry = NULL_METRICS
+    ) -> None:
         self.parser = parser
         self.mirrors: dict[str, LocalBookMirror] = {}
         self.sequence = SequenceTracker()
         self.ticks_seen = 0
         self.suppressed_duplicates = 0
+        # Pre-bound instruments (NULL_METRICS hands out shared no-ops, so
+        # the per-frame paths below stay unconditional either way).
+        self.metrics = metrics
+        self._m_frames = metrics.counter("feed.frames")
+        self._m_ticks = metrics.counter("feed.ticks")
+        self._m_gaps = metrics.counter("feed.gaps")
+        self._m_lost = metrics.counter("feed.lost_packets")
+        self._m_dups = metrics.counter("feed.duplicates_suppressed")
+        self._m_resyncs = metrics.counter("feed.resyncs")
 
     def mirror(self, symbol: str) -> LocalBookMirror:
         """The mirror for ``symbol``, created on first use."""
@@ -160,6 +172,7 @@ class FeedHandler:
     def on_frame(self, frame: bytes) -> list[DepthSnapshot]:
         """Process one wire frame; returns post-update snapshots
         (one per symbol touched by the frame)."""
+        self._m_frames.inc()
         packet = self.parser.parse_frame(frame)
         if packet is None:
             return []
@@ -175,13 +188,18 @@ class FeedHandler:
         snapshot emission is withheld until :meth:`on_snapshot` resyncs,
         so no model input is built from a book known to be incomplete.
         """
+        self._m_frames.inc()
         __, payload = decode_udp_frame(frame)
         sequence, body = decode_sequenced_payload(payload)
+        before_lost = self.sequence.lost_packets
         verdict = self.sequence.observe(sequence)
         if verdict == SEQ_DUPLICATE:
             self.suppressed_duplicates += 1
+            self._m_dups.inc()
             return []
         if verdict == SEQ_GAP:
+            self._m_gaps.inc()
+            self._m_lost.inc(self.sequence.lost_packets - before_lost)
             for mirror in self.mirrors.values():
                 mirror.invalidate()
         packet = self.parser.parse_payload(body)
@@ -191,6 +209,7 @@ class FeedHandler:
 
     def on_snapshot(self, symbol: str, snapshot: DepthSnapshot) -> None:
         """Resync one symbol's mirror from the snapshot channel."""
+        self._m_resyncs.inc()
         self.mirror(symbol).resync(snapshot)
 
     def _apply_packet(self, packet) -> list[DepthSnapshot]:
@@ -199,6 +218,7 @@ class FeedHandler:
             self.mirror(event.symbol).apply(event)
             touched[event.symbol] = packet.transact_time
         self.ticks_seen += 1
+        self._m_ticks.inc()
         return [
             self.mirrors[symbol].snapshot(timestamp)
             for symbol, timestamp in touched.items()

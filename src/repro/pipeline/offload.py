@@ -103,6 +103,8 @@ class OffloadEngine:
         # minimum, so the bound stays conservative without bookkeeping).
         self._min_deadline_bound = 0
         self._next_id = 0
+        self.admitted = 0
+        self.queue_depth_high_water = 0
         self.dropped_overflow = 0
         self.dropped_stale = 0
         self.dropped_unschedulable = 0
@@ -171,6 +173,10 @@ class OffloadEngine:
         if not self._pending or query.deadline < self._min_deadline_bound:
             self._min_deadline_bound = query.deadline
         self._pending.append(query)
+        self.admitted += 1
+        depth = len(self._pending)
+        if depth > self.queue_depth_high_water:
+            self.queue_depth_high_water = depth
 
     # -- queue management ----------------------------------------------------------
 
@@ -226,6 +232,9 @@ class OffloadEngine:
         else:
             self._min_deadline_bound = min(self._min_deadline_bound, requeued_min)
         self._pending.extendleft(reversed(queries))
+        depth = len(self._pending)
+        if depth > self.queue_depth_high_water:
+            self.queue_depth_high_water = depth
 
     def drop_stale(self, now: int) -> list[Query]:
         """Drop every pending query whose deadline has already passed.
@@ -323,6 +332,8 @@ class PendingIndexStore:
         # Injector-perturbed admissions (stall/reorder) enqueue later than
         # arrival + offset; everything else derives its enqueue time.
         self._enqueue_override: dict[int, int] = {}
+        self.admitted = 0
+        self.queue_depth_high_water = 0
         self.dropped_overflow = 0
         self.dropped_stale = 0
         self.dropped_unschedulable = 0
@@ -394,6 +405,10 @@ class PendingIndexStore:
             if deadline < self._min_deadline_bound:
                 self._min_deadline_bound = deadline
         buf.append(index)
+        self.admitted += 1
+        depth = len(buf) - self._head
+        if depth > self.queue_depth_high_water:
+            self.queue_depth_high_water = depth
         return victim
 
     @hot_path
@@ -451,6 +466,24 @@ class PendingIndexStore:
             kept_new = (start + np.flatnonzero(~stale_new)).tolist()
         else:
             kept_new = list(range(start, stop))
+        # High-water replay: the per-event loop observes queue depth right
+        # after each admission, before that step's stale scan — so the
+        # depth after admitting arrival k is ``rank_base + (k+1)`` minus
+        # the drops whose scan step is < k (a step-s drop lands after
+        # step s's own admission).
+        n = stop - start
+        self.admitted += n
+        if drops:
+            steps_sorted = np.sort(
+                np.asarray([d[0] for d in drops], dtype=np.int64)
+            )
+            arange_n = np.arange(n, dtype=np.int64)
+            before = np.searchsorted(steps_sorted, arange_n, side="left")
+            peak = rank_base + int((arange_n + 1 - before).max())
+        else:
+            peak = rank_base + n
+        if peak > self.queue_depth_high_water:
+            self.queue_depth_high_water = peak
         if drops:
             self.dropped_stale += len(drops)
             if kept_existing is not None:
@@ -545,6 +578,9 @@ class PendingIndexStore:
             if query.enqueue_time is not None and query.enqueue_time != default:
                 self._enqueue_override[query.query_id] = query.enqueue_time
         self._buf[self._head : self._head] = [q.query_id for q in queries]
+        depth = len(self._buf) - self._head
+        if depth > self.queue_depth_high_water:
+            self.queue_depth_high_water = depth
 
     def drop_stale(self, now: int) -> list[int]:
         """Indices of every pending query with ``deadline <= now``, removed.

@@ -39,6 +39,8 @@ import numpy as np
 
 from repro import envcfg, paperdata
 from repro.accelerator.device import AcceleratorCluster, fastest_capped
+from repro.metrics import MetricRegistry, exposition
+from repro.metrics.manifest import build_manifest, write_manifest
 from repro.accelerator.power import DVFSTable, OperatingPoint, PowerModel
 from repro.baselines.profiles import LightTraderProfile, SystemProfile
 from repro.core.dvfs import DVFSScheduler
@@ -121,6 +123,11 @@ class _Pending:
     telemetry: Telemetry | None = None
     in_flight: dict[int, list[Query]] = field(default_factory=dict)
     injector: FaultInjector | None = None
+    # Set by the LightTrader pumps so the end-of-run metric fold can read
+    # device/scheduler/DVFS counters (None on fixed-profile runs).
+    cluster: AcceleratorCluster | None = None
+    scheduler: WorkloadScheduler | None = None
+    dvfs: DVFSScheduler | None = None
 
 
 def _make_surrender_batch(state: _Pending, record_drop):
@@ -166,6 +173,7 @@ def _make_fault_handler(
             if not device.healthy:
                 return  # already quarantined by an earlier fault
             device.fail(now)
+            injector.note_applied(DEVICE_FAILURE)
             injector.corrupted.discard(device.accel_id)
             batch = state.in_flight.pop(device.accel_id, [])
             requeued, dropped = surrender_batch(batch, now, "device_failure")
@@ -193,6 +201,7 @@ def _make_fault_handler(
             if device.healthy:
                 return
             device.recover(now, static_point)  # recover() clamps to any cap
+            injector.note_applied(DEVICE_RECOVERY)
             if decision_log is not None:
                 decision_log.record_fault(
                     now,
@@ -204,6 +213,7 @@ def _make_fault_handler(
             assert device is not None
             if device.healthy and device.current is not None:
                 injector.corrupted.add(device.accel_id)
+                injector.note_applied(QUERY_CORRUPTION)
                 if decision_log is not None:
                     decision_log.record_fault(
                         now, QUERY_CORRUPTION, accel_id=device.accel_id
@@ -212,6 +222,7 @@ def _make_fault_handler(
             assert device is not None
             cap = max(event.cap_hz, dynamic_table.min_point.freq_hz)
             device.throttle(cap)
+            injector.note_applied(THERMAL_THROTTLE)
             if decision_log is not None:
                 decision_log.record_fault(
                     now,
@@ -247,18 +258,84 @@ def _make_fault_handler(
             assert device is not None
             if device.cap_hz is not None:
                 device.release_throttle()
+                injector.note_applied(THERMAL_RELEASE)
                 if decision_log is not None:
                     decision_log.record_fault(
                         now, THERMAL_RELEASE, accel_id=device.accel_id
                     )
         elif event.kind == DMA_STALL:
             injector.begin_stall(now, event.duration_ns)
+            injector.note_applied(DMA_STALL)
             if decision_log is not None:
                 decision_log.record_fault(
                     now, DMA_STALL, duration_ns=event.duration_ns
                 )
 
     return handle_fault
+
+
+def _fold_registry(registry: MetricRegistry, state: _Pending) -> None:
+    """Fold end-of-run counters from the engines into the registry.
+
+    Everything here is parity-held state (the loop-parity tests hold the
+    queues, devices and decision logs byte-identical between pumps)
+    except the ``impl.``-prefixed diagnostics, which legitimately differ
+    (the fast pump memoizes sweeps and epoch-gates redistribution).
+    """
+    if not registry.enabled:
+        return
+    offload = state.offload
+    registry.counter("offload.admitted").inc(offload.admitted)
+    registry.counter("offload.dropped_overflow").inc(offload.dropped_overflow)
+    registry.counter("offload.dropped_stale").inc(offload.dropped_stale)
+    registry.counter("offload.dropped_unschedulable").inc(
+        offload.dropped_unschedulable
+    )
+    registry.counter("offload.rejected_corrupt").inc(offload.rejected_corrupt)
+    registry.gauge("offload.queue_depth_high_water").set(
+        float(offload.queue_depth_high_water)
+    )
+    injector = state.injector
+    if injector is not None:
+        registry.counter("faults.feed_dropped").inc(injector.feed_dropped)
+        registry.counter("faults.feed_duplicates_suppressed").inc(
+            injector.feed_duplicates_suppressed
+        )
+        registry.counter("faults.feed_reordered").inc(injector.feed_reordered)
+        registry.counter("faults.stalled_arrivals").inc(injector.stalled_arrivals)
+        for kind in sorted(injector.applied):
+            registry.counter("faults.applied." + kind).inc(injector.applied[kind])
+    cluster = state.cluster
+    if cluster is not None:
+        quarantines = 0
+        completed = 0
+        transitions = 0
+        for device in cluster.devices:
+            quarantines += device.failures
+            completed += device.completed
+            transitions += device.transitions
+        registry.counter("device.quarantines").inc(quarantines)
+        registry.counter("device.completed_batches").inc(completed)
+        registry.counter("dvfs.transitions").inc(transitions)
+    scheduler = state.scheduler
+    if scheduler is not None:
+        memo = scheduler.memo_stats
+        registry.counter("impl.memo.hits").inc(memo["hits"])
+        registry.counter("impl.memo.misses").inc(memo["misses"])
+        registry.counter("impl.memo.invalidations").inc(memo["invalidations"])
+        registry.counter("impl.sweeps").inc(memo["sweeps"])
+    dvfs = state.dvfs
+    if dvfs is not None:
+        registry.counter("dvfs.reclaims").inc(dvfs.stats["reclaims"])
+        registry.counter("dvfs.boost_transitions").inc(
+            dvfs.stats["boost_transitions"]
+        )
+        registry.counter("dvfs.save_transitions").inc(
+            dvfs.stats["save_transitions"]
+        )
+        registry.counter("impl.dvfs.redistribute_calls").inc(
+            dvfs.stats["redistribute_calls"]
+        )
 
 
 class Backtester:
@@ -272,11 +349,15 @@ class Backtester:
         telemetry: Telemetry | None = None,
         faults: FaultPlan | None = None,
         fast_loop: bool | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.workload = workload
         self.profile = profile
         self.config = config or SimConfig()
         self.telemetry = telemetry
+        # Aggregate-metric registry; None defers to REPRO_METRICS at run
+        # time (a fresh registry per run when enabled).
+        self.metrics = metrics
         # An empty plan normalises to "no injection" so the fault-free
         # run stays bit-transparent: every fault branch below is guarded
         # by ``injector is not None``.
@@ -286,6 +367,7 @@ class Backtester:
         # pins this instance (the parity tests run both pumps this way).
         self.fast_loop = fast_loop
         self.last_metrics: MetricsCollector | None = None
+        self.last_run_metrics: MetricRegistry | None = None
 
     # -- public -------------------------------------------------------------------
 
@@ -300,12 +382,24 @@ class Backtester:
         """
         config = self.config
         system = f"{self.profile.name}[{config.scheme}]"
-        metrics = MetricsCollector(system=system, model=config.model)
+        registry = self.metrics
+        if registry is None:
+            registry = MetricRegistry(
+                enabled=envcfg.get_int(envcfg.METRICS.name) > 0
+            )
+        metrics = MetricsCollector(
+            system=system, model=config.model, registry=registry
+        )
         telemetry = self.telemetry
         owns_telemetry = False
         if telemetry is None:
             telemetry = run_telemetry(f"{system}-{config.model}")
             owns_telemetry = telemetry is not None
+        if telemetry is not None and telemetry.writer is not None:
+            registry.bind_flush(
+                telemetry.writer.write,
+                envcfg.get_int(envcfg.METRICS_FLUSH_NS.name),
+            )
         if telemetry is not None:
             telemetry.record_run(
                 self.profile.name,
@@ -369,9 +463,44 @@ class Backtester:
             query.drop_reason = "end_of_run"
             self._record_drop(state, query, query.enqueue_time or query.arrival)
         self.last_metrics = metrics
+        _fold_registry(registry, state)
+        self.last_run_metrics = registry
         if owns_telemetry:
             telemetry.close()
-        return metrics.result()
+        result = metrics.result()
+        self._export_metrics(registry, system, result)
+        return result
+
+    def _export_metrics(
+        self, registry: MetricRegistry, system: str, result: RunResult
+    ) -> None:
+        """Write <run>.manifest.json + <run>.prom when exporting is on."""
+        export_dir = envcfg.get_path(envcfg.METRICS_EXPORT.name)
+        if export_dir is None or not registry.enabled:
+            return
+        import dataclasses
+        from pathlib import Path
+
+        from repro.telemetry import _safe_filename
+
+        name = _safe_filename(f"{system}-{self.config.model}")
+        directory = Path(export_dir)
+        manifest = build_manifest(
+            run={
+                "system": system,
+                "profile": self.profile.name,
+                "scheme": self.config.scheme,
+                "model": self.config.model,
+                "workload": self.workload.name,
+                "workload_ticks": len(self.workload),
+            },
+            registry=registry,
+            config=dataclasses.asdict(self.config),
+            result=result,
+        )
+        write_manifest(directory / f"{name}.manifest.json", manifest)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{name}.prom").write_text(exposition(registry))
 
     # -- LightTrader path ------------------------------------------------------------
 
@@ -417,6 +546,10 @@ class Backtester:
             if config.dvfs_scheduling
             else None
         )
+
+        state.cluster = cluster
+        state.scheduler = ws
+        state.dvfs = ds
 
         static_power = profile.power_w(config.model, static_point, 1)
         min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
@@ -669,6 +802,10 @@ class Backtester:
             if config.dvfs_scheduling
             else None
         )
+
+        state.cluster = cluster
+        state.scheduler = ws
+        state.dvfs = ds
 
         static_power = profile.power_w(config.model, static_point, 1)
         min_power = profile.power_w(config.model, dynamic_table.min_point, 1)
@@ -1138,6 +1275,7 @@ class Backtester:
                 if event.accel_id in failed:
                     return
                 failed.add(event.accel_id)
+                injector.note_applied(DEVICE_FAILURE)
                 corrupt.discard(event.accel_id)
                 busy_until[event.accel_id] = now
                 surrender(event.accel_id, now, "device_failure")
@@ -1161,6 +1299,7 @@ class Backtester:
             elif event.kind == DEVICE_RECOVERY:
                 if event.accel_id in failed:
                     failed.discard(event.accel_id)
+                    injector.note_applied(DEVICE_RECOVERY)
                     busy_until[event.accel_id] = now
                     if decision_log is not None:
                         decision_log.record_fault(
@@ -1172,12 +1311,14 @@ class Backtester:
             elif event.kind == QUERY_CORRUPTION:
                 if event.accel_id in in_flight and event.accel_id not in failed:
                     corrupt.add(event.accel_id)
+                    injector.note_applied(QUERY_CORRUPTION)
                     if decision_log is not None:
                         decision_log.record_fault(
                             now, QUERY_CORRUPTION, accel_id=event.accel_id
                         )
             elif event.kind == DMA_STALL:
                 injector.begin_stall(now, event.duration_ns)
+                injector.note_applied(DMA_STALL)
                 if decision_log is not None:
                     decision_log.record_fault(
                         now, DMA_STALL, duration_ns=event.duration_ns

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.metrics import MetricRegistry, NULL_METRICS
 from repro.pipeline.offload import Query
 
 
@@ -84,20 +85,43 @@ class MetricsCollector:
     # fast simulator loop — accumulates the exact same float sequence as
     # one that samples every event.
     _segment: tuple[int, float] | None = None
+    # Aggregate-metric registry; NULL_METRICS is a shared no-op, so the
+    # recording paths below stay branch-free whether metrics are on or
+    # off.  Instruments are pre-bound in ``__post_init__`` — the hot
+    # paths never do a name lookup.
+    registry: MetricRegistry = field(default=NULL_METRICS, repr=False)
+
+    def __post_init__(self) -> None:
+        reg = self.registry
+        self._m_responded = reg.counter("queries.responded")
+        self._m_late = reg.counter("queries.completed_late")
+        self._m_dropped = reg.counter("queries.dropped")
+        self._m_unscored = reg.counter("queries.unscored")
+        self._m_deadline_miss = reg.counter("deadline.missed")
+        self._m_t2t = reg.histogram("tick_to_trade_ns")
+        self._m_batch = reg.histogram("batch.size")
+        self._m_power = reg.gauge("power.rail_w")
 
     def record_completion(self, query: Query, order_time: int, batch_size: int) -> None:
         """A query's order left the system at ``order_time``."""
         if query.deadline < 0:
             self.unscored += 1
+            self._m_unscored.inc()
             return
         self._batch_sizes.append(batch_size)
+        self._m_batch.record(batch_size)
         if order_time <= query.deadline:
             self.responded += 1
             self.trace.append((query.query_id, True))
             self._latencies_us.append((order_time - query.arrival) / 1_000.0)
+            self._m_responded.inc()
+            self._m_t2t.record(order_time - query.arrival)
         else:
             self.completed_late += 1
             self.trace.append((query.query_id, False))
+            self._m_late.inc()
+            self._m_deadline_miss.inc()
+        self.registry.maybe_flush(order_time)
 
     def record_completion_ids(
         self,
@@ -112,15 +136,22 @@ class MetricsCollector:
         :meth:`record_completion` without a materialised :class:`Query`."""
         if deadline < 0:
             self.unscored += 1
+            self._m_unscored.inc()
             return
         self._batch_sizes.append(batch_size)
+        self._m_batch.record(batch_size)
         if order_time <= deadline:
             self.responded += 1
             self.trace.append((query_id, True))
             self._latencies_us.append((order_time - arrival) / 1_000.0)
+            self._m_responded.inc()
+            self._m_t2t.record(order_time - arrival)
         else:
             self.completed_late += 1
             self.trace.append((query_id, False))
+            self._m_late.inc()
+            self._m_deadline_miss.inc()
+        self.registry.maybe_flush(order_time)
 
     def record_drop(self, query: Query) -> None:
         """A query was dropped before completing."""
@@ -132,9 +163,12 @@ class MetricsCollector:
         requiring a materialised :class:`Query`."""
         if deadline < 0:
             self.unscored += 1
+            self._m_unscored.inc()
         else:
             self.dropped += 1
             self.trace.append((query_id, False))
+            self._m_dropped.inc()
+            self._m_deadline_miss.inc()
 
     def sample_power(self, now: int, watts: float) -> None:
         """Integrate power over time (call at every state change).
@@ -158,8 +192,14 @@ class MetricsCollector:
                     self._energy_j += seg_watts * dt / 1e9
                     self._power_time_ns += dt
                 self._segment = (now, watts)
+                # Gauge writes happen only on value changes (and the
+                # first sample below), so the fast loop — which skips
+                # value-identical samples — produces the identical gauge
+                # sequence as the reference loop.
+                self._m_power.set(watts)
         else:
             self._segment = (now, watts)
+            self._m_power.set(watts)
         self._peak_power_w = max(self._peak_power_w, watts)
         self._last_power_sample = (now, watts)
 

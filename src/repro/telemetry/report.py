@@ -256,7 +256,18 @@ def main(argv: list[str] | None = None) -> int:
         try:
             print(render_report(path))
         except json.JSONDecodeError as exc:
-            print(f"corrupt trace {path}: {exc}", file=sys.stderr)
+            print(f"error: corrupt trace {path}: line {exc.lineno}", file=sys.stderr)
+            status = 1
+        except (KeyError, TypeError, ValueError) as exc:
+            # Truncated or structurally malformed events: one clear line,
+            # nonzero exit, keep rendering the remaining traces.
+            print(
+                f"error: malformed trace {path}: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            status = 1
+        except OSError as exc:
+            print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
             status = 1
     return status
 

@@ -41,8 +41,14 @@ def test_registry_contents_and_defaults():
         "REPRO_BENCH_RETRIES",
         "REPRO_BENCH_DURATION",
         "REPRO_BENCH_CRASH_FILE",
+        "REPRO_METRICS",
+        "REPRO_METRICS_FLUSH_NS",
+        "REPRO_METRICS_EXPORT",
     }
     assert by_name["REPRO_FAST_LOOP"].default is True
+    assert by_name["REPRO_METRICS"].default == 1
+    assert by_name["REPRO_METRICS_FLUSH_NS"].default == 0
+    assert by_name["REPRO_METRICS_EXPORT"].default is None
     assert by_name["REPRO_SWEEP_REFERENCE"].default is False
     assert by_name["REPRO_TRACE_LEVEL"].default == 2
     assert by_name["REPRO_BENCH_JOBS"].default == 1

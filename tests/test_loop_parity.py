@@ -26,6 +26,7 @@ from repro.accelerator.power import DVFSTable
 from repro.baselines.profiles import fpga_profile, gpu_profile, lighttrader_profile
 from repro.core.scheduler import WorkloadScheduler
 from repro.faults.plan import seeded_plan
+from repro.metrics import IMPL_PREFIX, MetricRegistry
 from repro.sim.backtest import Backtester, SimConfig
 from repro.sim.workload import Regime, TrafficSpec, synthetic_workload
 from repro.telemetry import Telemetry
@@ -56,21 +57,22 @@ def _workload(preset: str):
 
 
 def _run_pair(workload, profile, config, faults=None, level=2):
-    """One back-test per loop; returns ((result, telemetry), ...)."""
+    """One back-test per loop; returns ((result, telemetry, metrics), ...)."""
     out = []
     for fast in (False, True):
         telemetry = Telemetry(keep_traces=True, keep_events=True, level=level)
+        metrics = MetricRegistry()
         result = Backtester(
             workload, profile, config, telemetry=telemetry, faults=faults,
-            fast_loop=fast,
+            fast_loop=fast, metrics=metrics,
         ).run()
         telemetry.close()
-        out.append((result, telemetry))
+        out.append((result, telemetry, metrics))
     return out
 
 
 def _assert_parity(workload, profile, config, faults=None, level=2):
-    (ref, tel_ref), (fast, tel_fast) = _run_pair(
+    (ref, tel_ref, met_ref), (fast, tel_fast, met_fast) = _run_pair(
         workload, profile, config, faults=faults, level=level
     )
     assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
@@ -79,6 +81,17 @@ def _assert_parity(workload, profile, config, faults=None, level=2):
     traces_ref = [t.to_event() for t in (tel_ref.traces or [])]
     traces_fast = [t.to_event() for t in (tel_fast.traces or [])]
     assert traces_fast == traces_ref
+    # MetricRegistry parity: every public metric matches; only names
+    # under the impl. prefix (memo/sweep/redistribute bookkeeping) may
+    # legitimately differ between the two pumps.
+    snap_fast = met_fast.public_snapshot()
+    assert snap_fast == met_ref.public_snapshot()
+    assert snap_fast["counters"], "registry saw no counter traffic"
+    assert not any(
+        name.startswith(IMPL_PREFIX)
+        for section in snap_fast.values()
+        for name in section
+    )
     return ref
 
 

@@ -292,6 +292,41 @@ class TestBacktestIntegration:
         assert len(files) == 1
         assert report_main([str(tmp_path)]) == 0
 
+    def test_report_missing_path_exits_nonzero(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "no such trace" in err
+
+    def test_report_corrupt_jsonl_exits_nonzero(self, tmp_path, capsys):
+        trace = tmp_path / "corrupt.jsonl"
+        trace.write_text('{"type": "run"}\n{broken json\n')
+        assert report_main([str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: corrupt trace")
+        assert err.count("\n") == 1  # one clear line, not a traceback
+
+    def test_report_truncated_event_exits_nonzero(self, tmp_path, capsys):
+        # Structurally valid JSON missing required keys (a write cut
+        # short mid-run): one-line error, nonzero exit, no traceback.
+        trace = tmp_path / "truncated.jsonl"
+        trace.write_text('{"type": "query", "outcome": "in_time"}\n')
+        assert report_main([str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: malformed trace")
+
+    def test_report_keeps_rendering_after_a_bad_trace(
+        self, tmp_path, small_workload, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        Backtester(
+            small_workload, lighttrader_profile(), SimConfig(model="vanilla_cnn")
+        ).run()
+        (tmp_path / "aaa_corrupt.jsonl").write_text("{nope\n")
+        assert report_main([str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "error: corrupt trace" in captured.err
+        assert "Tick-to-trade breakdown" in captured.out  # good trace rendered
+
     def test_disabled_telemetry_writes_nothing(
         self, tmp_path, small_workload, monkeypatch
     ):
