@@ -1,11 +1,37 @@
 """Micro-benchmarks of the functional pipeline stages (wall-clock of our
-Python implementations — useful for harness health, not paper numbers)."""
+Python implementations — useful for harness health, not paper numbers).
+
+The LOB section additionally persists ``benchmarks/results/
+BENCH_lob_speed.json`` — a run manifest whose deterministic ``lob.*``
+metric counters come from a pinned replay (CI diffs it against the
+committed baseline) and whose ``perf`` section records the measured
+single-book ops/s (reference vs array, per-op vs batch) and the batched
+multi-book scaling ratio.
+"""
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.lob import MatchingEngine, Order, Side
+from conftest import RESULTS_DIR
+from repro.errors import MatchingError, OrderBookError
+from repro.lob import (
+    ArrayMatchingEngine,
+    BatchedBooks,
+    BookOps,
+    MatchingEngine,
+    OpBatch,
+    Order,
+    OrderType,
+    Side,
+    TimeInForce,
+)
+from repro.lob.array_matching import OP_CANCEL, OP_SUBMIT
+from repro.lob.batched import OP_LIMIT, OP_MARKET, OP_NOP, OP_REDUCE
 from repro.market import generate_session
+from repro.metrics import MetricRegistry
+from repro.metrics.manifest import build_manifest, write_manifest
 from repro.nn import build_model
 from repro.pipeline import NormalizationStats, OffloadEngine
 from repro.protocol import (
@@ -80,3 +106,222 @@ def test_bench_compiler(benchmark):
 
     program = benchmark(lambda: compile_model(build_vanilla_cnn()))
     assert program.per_sample_cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# LOB engines: reference vs struct-of-arrays, single-book and batched
+# ---------------------------------------------------------------------------
+
+# Pinned stream for BENCH_lob_speed.json: seed and size fixed so the
+# deterministic sections (lob.* metric counters, replay stats) are
+# byte-stable across machines and the CI diff can gate on them.
+LOB_STREAM_SEED = 1
+LOB_STREAM_OPS = 20_000
+
+
+def _lob_stream(seed: int, n_ops: int) -> list[tuple[int, ...]]:
+    """A legal seeded submit/cancel stream, pre-filtered by the reference."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    live = []
+    oid = 0
+    for _ in range(n_ops):
+        if rng.uniform() < 0.8 or not live:
+            oid += 1
+            tif = int(rng.choice([0, 1], p=[0.7, 0.3]))
+            rows.append(
+                (
+                    OP_SUBMIT,
+                    int(rng.integers(0, 2)),
+                    0,
+                    tif,
+                    int(rng.integers(95, 106)),
+                    int(rng.integers(1, 10)),
+                    oid,
+                )
+            )
+            if tif == int(TimeInForce.DAY):
+                live.append(oid)
+        else:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            rows.append((OP_CANCEL, 0, 0, 0, 0, 0, victim))
+    engine = MatchingEngine()
+    kept = []
+    for row in rows:
+        try:
+            _lob_apply(engine, row)
+        except (OrderBookError, MatchingError):
+            continue
+        kept.append(row)
+    return kept
+
+
+def _lob_apply(engine, row):
+    kind, side, otype, tif, price, qty, order_id = row
+    if kind == OP_SUBMIT:
+        return engine.submit(
+            "ES",
+            Order(
+                side=Side(side),
+                price=price,
+                quantity=qty,
+                order_id=order_id,
+                order_type=OrderType(otype),
+                tif=TimeInForce(tif),
+                owner="bench",
+            ),
+            0,
+        )
+    return engine.cancel("ES", order_id, 0)
+
+
+def _lob_per_op_rate(engine_factory, rows) -> float:
+    best = 0.0
+    for _ in range(3):
+        engine = engine_factory()
+        t0 = time.perf_counter()
+        for row in rows:
+            _lob_apply(engine, row)
+        best = max(best, len(rows) / (time.perf_counter() - t0))
+    return best
+
+
+def test_bench_lob_single_book(benchmark, record_table):
+    """Reference per-op vs array per-op vs array batch kernel ops/s.
+
+    Gate: the batch kernel must clear 5x the reference engine (measured
+    ~15x; 5x leaves shared-runner headroom), with per-op/batch parity
+    re-asserted on the same stream.
+    """
+    rows = _lob_stream(LOB_STREAM_SEED, LOB_STREAM_OPS)
+    batch = OpBatch.from_rows(rows)
+    rates = {}
+
+    def measure():
+        rates["reference_per_op"] = _lob_per_op_rate(MatchingEngine, rows)
+        rates["array_per_op"] = _lob_per_op_rate(ArrayMatchingEngine, rows)
+        best = 0.0
+        for _ in range(3):
+            engine = ArrayMatchingEngine()
+            t0 = time.perf_counter()
+            engine.replay_ops("ES", batch)
+            best = max(best, len(rows) / (time.perf_counter() - t0))
+        rates["array_batch"] = best
+        return rates
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Deterministic manifest run: the array engine's lob.* counters over
+    # the pinned stream (per-op, so the high-water gauges see every op).
+    registry = MetricRegistry()
+    per_op = ArrayMatchingEngine(metrics=registry)
+    for row in rows:
+        _lob_apply(per_op, row)
+    replayed = ArrayMatchingEngine()
+    stats = replayed.replay_ops("ES", batch)
+    assert stats.final_sequence == per_op._sequence
+    assert replayed.book("ES").bids.top(25) == per_op.book("ES").bids.top(25)
+    assert replayed.book("ES").asks.top(25) == per_op.book("ES").asks.top(25)
+
+    speedup_batch = rates["array_batch"] / rates["reference_per_op"]
+    speedup_per_op = rates["array_per_op"] / rates["reference_per_op"]
+    record_table(
+        "lob_speed",
+        "Single-book LOB ops/s (20k-op seeded submit/cancel stream)\n"
+        f"  reference per-op: {rates['reference_per_op']:,.0f}\n"
+        f"  array per-op:     {rates['array_per_op']:,.0f}"
+        f"  ({speedup_per_op:.1f}x)\n"
+        f"  array batch:      {rates['array_batch']:,.0f}"
+        f"  ({speedup_batch:.1f}x)",
+    )
+    manifest = build_manifest(
+        run={
+            "system": "lob",
+            "bench": "lob_speed",
+            "stream_seed": LOB_STREAM_SEED,
+            "stream_ops": len(rows),
+        },
+        registry=registry,
+        config={"engine": "array", "symbol": "ES"},
+        seeds={"stream": LOB_STREAM_SEED},
+        perf={
+            "reference_ops_per_s": rates["reference_per_op"],
+            "array_per_op_ops_per_s": rates["array_per_op"],
+            "array_batch_ops_per_s": rates["array_batch"],
+            "batch_speedup_vs_reference": speedup_batch,
+        },
+    )
+    manifest["result"] = {
+        "n_ops": stats.n_ops,
+        "n_fills": stats.n_fills,
+        "traded_quantity": stats.traded_quantity,
+        "notional": stats.notional,
+        "rejected": stats.rejected,
+        "final_sequence": stats.final_sequence,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_manifest(RESULTS_DIR / "BENCH_lob_speed.json", manifest)
+    # Calibrated gate: measured ~15x on the reference container.
+    assert speedup_batch >= 5.0, rates
+
+
+def test_bench_lob_batched_scaling(benchmark, record_table):
+    """Adding books to BatchedBooks must cost well under linear."""
+
+    def step_cost(n_books, n_steps=60):
+        rng = np.random.default_rng(5)
+        books = BatchedBooks(n_books)
+        all_ops = []
+        for _ in range(n_steps):
+            kind = rng.choice(
+                [OP_LIMIT, OP_MARKET, OP_REDUCE, OP_NOP],
+                size=n_books,
+                p=[0.65, 0.1, 0.15, 0.1],
+            ).astype(np.int64)
+            all_ops.append(
+                BookOps(
+                    kind=kind,
+                    side=rng.integers(0, 2, n_books).astype(np.int64),
+                    price=rng.integers(95, 106, n_books).astype(np.int64),
+                    qty=rng.integers(1, 10, n_books).astype(np.int64),
+                    tif=rng.choice([0, 1, 2], size=n_books, p=[0.6, 0.3, 0.1]).astype(
+                        np.int64
+                    ),
+                )
+            )
+        t0 = time.perf_counter()
+        for ops in all_ops:
+            books.step(ops)
+        return (time.perf_counter() - t0) / n_steps
+
+    costs = {}
+
+    def measure():
+        costs["single_s"] = min(step_cost(1) for _ in range(3))
+        costs["wide_s"] = min(step_cost(64) for _ in range(3))
+        return costs
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_book_ratio = (costs["wide_s"] / 64) / costs["single_s"]
+    record_table(
+        "lob_batched",
+        "BatchedBooks step cost (random op per book per step)\n"
+        f"  1 book:   {costs['single_s'] * 1e6:,.0f} us/step\n"
+        f"  64 books: {costs['wide_s'] * 1e6:,.0f} us/step\n"
+        f"  per-book cost vs single: {per_book_ratio:.3f}x (sublinear < 0.5)",
+    )
+    payload = {
+        "batched_single_step_s": costs["single_s"],
+        "batched_wide_step_s": costs["wide_s"],
+        "batched_n_books": 64,
+        "batched_per_book_ratio": per_book_ratio,
+    }
+    path = RESULTS_DIR / "BENCH_lob_speed.json"
+    if path.exists():
+        import json
+
+        manifest = json.loads(path.read_text())
+        manifest.setdefault("perf", {}).update(payload)
+        write_manifest(path, manifest)
+    # Calibrated gate: measured ~0.05x; 0.5 keeps wide noise headroom.
+    assert per_book_ratio < 0.5, costs

@@ -38,6 +38,7 @@ __all__ = [
     "declared",
     "env_table_markdown",
     "get_bool",
+    "get_choice",
     "get_float",
     "get_int",
     "get_path",
@@ -55,7 +56,7 @@ class EnvVar:
     """Declaration of one ``REPRO_*`` environment variable."""
 
     name: str
-    kind: str  # 'bool' | 'int' | 'float' | 'path'
+    kind: str  # 'bool' | 'int' | 'float' | 'path' | 'choice'
     default: object
     doc: str
     minimum: float | None = None
@@ -64,14 +65,25 @@ class EnvVar:
     # 'default' (silently fall back).  Out-of-range numerics always
     # clamp into [minimum, maximum].
     on_error: str = "raise"
+    # The closed token set of a 'choice' variable (lowercase).
+    choices: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("bool", "int", "float", "path"):
+        if self.kind not in ("bool", "int", "float", "path", "choice"):
             raise ValueError(f"unknown envcfg kind {self.kind!r}")
         if self.on_error not in ("raise", "default"):
             raise ValueError(f"unknown envcfg error policy {self.on_error!r}")
         if not self.name.startswith("REPRO_"):
             raise ValueError(f"environment variable {self.name!r} must be REPRO_*")
+        if self.kind == "choice":
+            if not self.choices:
+                raise ValueError(f"choice variable {self.name} declares no choices")
+            if self.default not in self.choices:
+                raise ValueError(
+                    f"{self.name} default {self.default!r} not in {self.choices}"
+                )
+        elif self.choices is not None:
+            raise ValueError(f"{self.name} is {self.kind!r} but declares choices")
 
     @property
     def default_text(self) -> str:
@@ -81,6 +93,13 @@ class EnvVar:
         if self.kind == "bool":
             return "on" if self.default else "off"
         return f"{self.default:g}" if self.kind == "float" else str(self.default)
+
+    @property
+    def kind_text(self) -> str:
+        """Rendering of the kind for the generated table."""
+        if self.kind == "choice" and self.choices:
+            return "|".join(self.choices)
+        return self.kind
 
 
 _REGISTRY: dict[str, EnvVar] = {}
@@ -221,6 +240,20 @@ METRICS_FLUSH_NS = _declare(
     )
 )
 
+LOB_ENGINE = _declare(
+    EnvVar(
+        "REPRO_LOB_ENGINE",
+        "choice",
+        "array",
+        "Limit-order-book engine: 'array' (struct-of-arrays numpy book "
+        "and matching kernels, the default) or 'reference' (the "
+        "object-per-order golden model). Both produce bit-identical "
+        "fills, events and sequence numbers — the lob-parity CI gate "
+        "holds them to it.",
+        choices=("reference", "array"),
+    )
+)
+
 METRICS_EXPORT = _declare(
     EnvVar(
         "REPRO_METRICS_EXPORT",
@@ -328,6 +361,28 @@ def get_float(name: str, default: float | None = None) -> float:
     return _bounded(var, parsed)
 
 
+def get_choice(name: str) -> str:
+    """A choice variable: one token from its declared closed set.
+
+    The raw value is matched case-insensitively.  An unknown token
+    follows the variable's ``on_error`` policy (raise or fall back to
+    the default), like the numeric accessors.
+    """
+    var = lookup(name)
+    if var.kind != "choice":
+        raise SimulationError(f"{name} is declared {var.kind}, not choice")
+    assert var.choices is not None
+    value = os.environ.get(name)
+    if not value:
+        return str(var.default)
+    token = value.strip().lower()
+    if token in var.choices:
+        return token
+    if var.on_error == "raise":
+        raise SimulationError(f"{name} must be one of {var.choices}, got {value!r}")
+    return str(var.default)
+
+
 def env_table_markdown() -> str:
     """The EXPERIMENTS.md environment-variable table, generated.
 
@@ -340,6 +395,6 @@ def env_table_markdown() -> str:
     ]
     for var in declared():
         lines.append(
-            f"| `{var.name}` | {var.kind} | {var.default_text} | {var.doc} |"
+            f"| `{var.name}` | {var.kind_text} | {var.default_text} | {var.doc} |"
         )
     return "\n".join(lines)

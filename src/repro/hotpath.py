@@ -41,5 +41,8 @@ MANIFEST: frozenset[str] = frozenset(
         "repro/sim/metrics.py::MetricsCollector.record_drop",
         "repro/sim/metrics.py::MetricsCollector.record_drop_ids",
         "repro/sim/metrics.py::MetricsCollector.sample_power",
+        "repro/lob/array_book.py::ArraySide.append_order",
+        "repro/lob/array_book.py::ArraySide.unlink_order",
+        "repro/lob/array_book.py::ArrayBook.drop_slot",
     }
 )

@@ -1,0 +1,740 @@
+"""Array-native matching engine: bit-exact fast path over the SoA book.
+
+:class:`ArrayMatchingEngine` mirrors
+:class:`repro.lob.matching.MatchingEngine` operation for operation —
+same fills, same :class:`~repro.lob.events.MarketEvent` stream, same
+sequence numbers — but keeps all book state in the struct-of-arrays
+:class:`~repro.lob.array_book.ArrayBook` instead of per-order Python
+objects.  The differential suite (``tests/test_lob_array_parity.py``)
+and the generator byte-equality gate in CI hold the two engines to
+exact parity, following the discipline of ``tests/test_sweep_parity.py``
+and ``tests/test_loop_parity.py``.
+
+Two execution surfaces:
+
+- the :class:`MatchingEngine`-shaped per-operation API
+  (``submit``/``cancel``/``replace`` returning :class:`MatchResult`),
+  for drop-in use by the gateway and market agents;
+- :meth:`ArrayMatchingEngine.replay_ops`, the batched kernel: a whole
+  struct-of-arrays operation stream replayed with price–time priority
+  over array slices, no per-op ``Order``/``Fill``/event objects —
+  sequence numbers advance exactly as the per-op path would, and the
+  returned :class:`ReplayStats` checksums let tests prove it.
+
+Both engines share one FOK semantics fix: time-in-force FOK is enforced
+for MARKET orders too (historically only LIMIT+FOK was checked, so a
+MARKET+FOK order silently degraded to IOC), and ``replace`` re-runs the
+FOK check on the replacement because it resubmits through ``submit``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MatchingError, OrderBookError
+from repro.hotpath import hot_path
+from repro.lob.array_book import ArrayBook, ArraySide
+from repro.lob.events import BookUpdate, TradeTick, UpdateAction
+from repro.lob.matching import MatchResult
+from repro.lob.order import Fill, Order, OrderType, Side, TimeInForce
+from repro.metrics import NULL_METRICS, MetricRegistry
+
+__all__ = [
+    "OP_CANCEL",
+    "OP_REPLACE",
+    "OP_SUBMIT",
+    "ArrayMatchingEngine",
+    "OpBatch",
+    "ReplayStats",
+]
+
+# replay_ops operation kinds.
+OP_SUBMIT = 0
+OP_CANCEL = 1
+OP_REPLACE = 2
+
+_NIL = -1
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """Aggregate checksums of one :meth:`ArrayMatchingEngine.replay_ops`.
+
+    Enough to prove the batch path tracked the per-op path exactly
+    without materialising per-op results: the fill count, total traded
+    quantity, the price-weighted notional, how many submissions an FOK
+    check rejected, and the engine sequence number after the batch.
+    """
+
+    n_ops: int
+    n_fills: int
+    traded_quantity: int
+    notional: int
+    rejected: int
+    final_sequence: int
+
+
+class OpBatch:
+    """A struct-of-arrays operation stream for the batched kernel.
+
+    Parallel columns, one row per operation: ``kind`` (OP_SUBMIT /
+    OP_CANCEL / OP_REPLACE), ``side``, ``otype``, ``tif``, ``price``,
+    ``qty`` and ``order_id``.  For OP_REPLACE, ``price``/``qty`` are the
+    replacement values (<= 0 keeps the old one — mirroring the per-op
+    API's ``None``).  Build incrementally with :meth:`append` or pass
+    ready-made arrays.
+    """
+
+    __slots__ = ("kind", "side", "otype", "tif", "price", "qty", "order_id")
+
+    def __init__(
+        self,
+        kind: np.ndarray,
+        side: np.ndarray,
+        otype: np.ndarray,
+        tif: np.ndarray,
+        price: np.ndarray,
+        qty: np.ndarray,
+        order_id: np.ndarray,
+    ) -> None:
+        self.kind = np.asarray(kind, dtype=np.int8)
+        self.side = np.asarray(side, dtype=np.int8)
+        self.otype = np.asarray(otype, dtype=np.int8)
+        self.tif = np.asarray(tif, dtype=np.int8)
+        self.price = np.asarray(price, dtype=np.int64)
+        self.qty = np.asarray(qty, dtype=np.int64)
+        self.order_id = np.asarray(order_id, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.kind.size)
+
+    @classmethod
+    def from_rows(cls, rows: list[tuple[int, int, int, int, int, int, int]]) -> OpBatch:
+        """Build a batch from (kind, side, otype, tif, price, qty, id) rows."""
+        arr = np.asarray(rows, dtype=np.int64).reshape(-1, 7)
+        return cls(
+            kind=arr[:, 0],
+            side=arr[:, 1],
+            otype=arr[:, 2],
+            tif=arr[:, 3],
+            price=arr[:, 4],
+            qty=arr[:, 5],
+            order_id=arr[:, 6],
+        )
+
+
+class ArrayMatchingEngine:
+    """Price–time-priority matching over struct-of-arrays books.
+
+    Drop-in for :class:`repro.lob.matching.MatchingEngine`: same public
+    surface, same results, same event sequences.  ``metrics`` threads a
+    :class:`repro.metrics.MetricRegistry` through the hot path (orders /
+    fills / cancels counters, level-count and slab-occupancy high-water
+    gauges — the same instruments the reference engine records, so
+    metric snapshots are engine-agnostic too).
+    """
+
+    def __init__(self, metrics: MetricRegistry | None = None) -> None:
+        self._books: dict[str, ArrayBook] = {}
+        self._sequence = 0
+        registry = metrics if metrics is not None else NULL_METRICS
+        self._m_orders = registry.counter("lob.orders")
+        self._m_fills = registry.counter("lob.fills")
+        self._m_cancels = registry.counter("lob.cancels")
+        self._m_replaces = registry.counter("lob.replaces")
+        self._m_levels = registry.gauge("lob.levels_high_water")
+        self._m_occupancy = registry.gauge("lob.slab_occupancy_high_water")
+
+    def book(self, symbol: str) -> ArrayBook:
+        """The book for ``symbol``, created empty on first use."""
+        book = self._books.get(symbol)
+        if book is None:
+            book = ArrayBook(symbol)
+            self._books[symbol] = book
+        return book
+
+    @property
+    def symbols(self) -> list[str]:
+        """Symbols with a (possibly empty) book."""
+        return list(self._books)
+
+    def _next_seq(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    @hot_path
+    def _record_book(self, book: ArrayBook) -> None:
+        """Update the book-shape high-water gauges (allocation-free)."""
+        self._m_levels.set(book.bids.n + book.asks.n)
+        self._m_occupancy.set(book.slab.in_use)
+
+    # -- public operations ----------------------------------------------------
+
+    def submit(self, symbol: str, order: Order, timestamp: int) -> MatchResult:
+        """Process an incoming order against ``symbol``'s book.
+
+        Limit orders match while they cross, then rest (DAY), cancel the
+        remainder (IOC) or are rejected unless fully fillable (FOK).
+        Market orders match until filled or the opposite side empties.
+        FOK is enforced for both LIMIT and MARKET orders.
+        """
+        book = self.book(symbol)
+        order.entry_time = timestamp
+        result = MatchResult(order=order)
+        self._m_orders.inc()
+
+        if order.tif is TimeInForce.FOK:
+            if self._fillable_quantity(book, order) < order.remaining:
+                result.accepted = False
+                return result
+
+        self._match(book, order, timestamp, result)
+
+        if order.remaining > 0 and order.order_type is OrderType.LIMIT:
+            if order.tif is TimeInForce.DAY:
+                book.insert(order)
+                side = book.side(order.side)
+                idx = side.find(order.price)
+                action = (
+                    UpdateAction.NEW
+                    if int(side.count[idx]) == 1
+                    else UpdateAction.CHANGE
+                )
+                result.events.append(
+                    BookUpdate(
+                        symbol=symbol,
+                        timestamp=timestamp,
+                        action=action,
+                        side=order.side,
+                        price=order.price,
+                        volume=int(side.volume[idx]),
+                        sequence=self._next_seq(),
+                    )
+                )
+            # IOC / FOK remainders are simply discarded.
+        self._m_fills.inc(len(result.fills))
+        self._record_book(book)
+        return result
+
+    def cancel(self, symbol: str, order_id: int, timestamp: int) -> MatchResult:
+        """Cancel a resting order, publishing the level's new state."""
+        book = self.book(symbol)
+        order = book.find(order_id)
+        book.remove(order_id)
+        result = MatchResult(order=order)
+        result.events.append(
+            self._level_update(book, order.side, order.price, timestamp)
+        )
+        self._m_cancels.inc()
+        self._record_book(book)
+        return result
+
+    def replace(
+        self,
+        symbol: str,
+        order_id: int,
+        timestamp: int,
+        new_price: int | None = None,
+        new_quantity: int | None = None,
+    ) -> MatchResult:
+        """Cancel-and-replace a resting order.
+
+        The replacement keeps the original order id but loses time
+        priority (it re-enters the book as a fresh submission), matching
+        exchange semantics for price changes and quantity increases.
+        Because the replacement goes back through :meth:`submit`, an FOK
+        original re-runs the full-fill check at its new price/quantity.
+        """
+        book = self.book(symbol)
+        old = book.find(order_id)
+        if new_price is None and new_quantity is None:
+            raise MatchingError(f"replace of order {order_id} changes nothing")
+        book.remove(order_id)
+        cancel_event = self._level_update(book, old.side, old.price, timestamp)
+
+        replacement = Order(
+            side=old.side,
+            price=new_price if new_price is not None else old.price,
+            quantity=new_quantity if new_quantity is not None else old.remaining,
+            order_id=old.order_id,
+            order_type=old.order_type,
+            tif=old.tif,
+            owner=old.owner,
+            entry_time=timestamp,
+        )
+        self._m_replaces.inc()
+        result = self.submit(symbol, replacement, timestamp)
+        result.events.insert(0, cancel_event)
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _fillable_quantity(self, book: ArrayBook, order: Order) -> int:
+        """Volume available to ``order`` at prices it is willing to cross."""
+        opposite = book.side(order.side.opposite)
+        limit = None if order.order_type is OrderType.MARKET else order.price
+        return opposite.fillable_volume(limit, order.remaining)
+
+    @staticmethod
+    def _price_crosses(order: Order, resting_price: int) -> bool:
+        if order.order_type is OrderType.MARKET:
+            return True
+        if order.side is Side.BID:
+            return order.price >= resting_price
+        return order.price <= resting_price
+
+    def _match(
+        self, book: ArrayBook, order: Order, timestamp: int, result: MatchResult
+    ) -> None:
+        opposite = book.side(order.side.opposite)
+        while order.remaining > 0:
+            idx = opposite.best_index()
+            if idx == _NIL or not self._price_crosses(
+                order, int(opposite.prices[idx])
+            ):
+                break
+            self._match_level(book, opposite, idx, order, timestamp, result)
+
+    def _match_level(
+        self,
+        book: ArrayBook,
+        opposite: ArraySide,
+        idx: int,
+        order: Order,
+        timestamp: int,
+        result: MatchResult,
+    ) -> None:
+        """Fill ``order`` against level ``idx`` until one side is exhausted."""
+        slab = book.slab
+        price = int(opposite.prices[idx])
+        traded = 0
+        while order.remaining > 0 and opposite.count[idx] > 0:
+            slot = int(opposite.head[idx])
+            maker_remaining = int(slab.qty[slot])
+            quantity = (
+                order.remaining
+                if order.remaining < maker_remaining
+                else maker_remaining
+            )
+            slab.qty[slot] = maker_remaining - quantity
+            opposite.volume[idx] -= quantity
+            order.remaining -= quantity
+            traded += quantity
+            result.fills.append(
+                Fill(
+                    price=price,
+                    quantity=quantity,
+                    maker_id=int(slab.order_id[slot]),
+                    taker_id=order.order_id,
+                    maker_owner=book.owners.name(int(slab.owner[slot])),
+                    taker_owner=order.owner,
+                    aggressor_side=order.side,
+                    timestamp=timestamp,
+                )
+            )
+            if quantity == maker_remaining:  # maker exhausted: pop from FIFO
+                opposite.unlink_order(idx, slot)
+                book.drop_slot(slot)
+        result.events.append(
+            TradeTick(
+                symbol=book.symbol,
+                timestamp=timestamp,
+                price=price,
+                quantity=traded,
+                aggressor_side=order.side,
+                sequence=self._next_seq(),
+            )
+        )
+        if opposite.count[idx] == 0:
+            opposite.remove_level(idx)
+            result.events.append(
+                BookUpdate(
+                    symbol=book.symbol,
+                    timestamp=timestamp,
+                    action=UpdateAction.DELETE,
+                    side=order.side.opposite,
+                    price=price,
+                    volume=0,
+                    sequence=self._next_seq(),
+                )
+            )
+        else:
+            result.events.append(
+                BookUpdate(
+                    symbol=book.symbol,
+                    timestamp=timestamp,
+                    action=UpdateAction.CHANGE,
+                    side=order.side.opposite,
+                    price=price,
+                    volume=int(opposite.volume[idx]),
+                    sequence=self._next_seq(),
+                )
+            )
+
+    def _level_update(
+        self, book: ArrayBook, side: Side, price: int, timestamp: int
+    ) -> BookUpdate:
+        """Describe the current state of (side, price) as a BookUpdate."""
+        book_side = book.side(side)
+        idx = book_side.find(price)
+        if idx == _NIL:
+            return BookUpdate(
+                symbol=book.symbol,
+                timestamp=timestamp,
+                action=UpdateAction.DELETE,
+                side=side,
+                price=price,
+                volume=0,
+                sequence=self._next_seq(),
+            )
+        return BookUpdate(
+            symbol=book.symbol,
+            timestamp=timestamp,
+            action=UpdateAction.CHANGE,
+            side=side,
+            price=price,
+            volume=int(book_side.volume[idx]),
+            sequence=self._next_seq(),
+        )
+
+    # -- batched kernel --------------------------------------------------------
+
+    def replay_ops(
+        self,
+        symbol: str,
+        ops: OpBatch,
+        timestamp: int = 0,
+        owner: str = "replay",
+    ) -> ReplayStats:
+        """Replay a whole operation stream through ``symbol``'s book.
+
+        The batched kernel: the slab columns and price-level arrays are
+        checked out into flat buffers once per batch, the stream replays
+        with price-time priority as pure integer arithmetic on those
+        columns (no per-op ``Order``/``Fill``/``MatchResult``/event
+        objects and no per-op numpy scalar boxing), and the result
+        commits back to the struct-of-arrays book once at the end.  The
+        engine sequence number advances exactly as the per-op path would
+        (one tick per trade print, one per book update), so a per-op
+        replay of the same stream lands on the same ``final_sequence``;
+        the returned :class:`ReplayStats` checksums (fills, traded
+        quantity, price-weighted notional) let the differential suite
+        prove the paths equivalent.
+
+        Operations that would raise in the per-op API (cancel of an
+        unknown id, no-op replace) raise here too — atomically: a
+        raising batch leaves the book untouched (the checked-out state
+        is simply discarded).
+        """
+        book = self.book(symbol)
+        slab = book.slab
+        owner_id = book.owners.intern(owner)
+
+        kinds = ops.kind.tolist()
+        in_sides = ops.side.tolist()
+        in_otypes = ops.otype.tolist()
+        in_tifs = ops.tif.tolist()
+        in_prices = ops.price.tolist()
+        in_qtys = ops.qty.tolist()
+        in_oids = ops.order_id.tolist()
+
+        # -- checkout: flat Python buffers of the whole book state ----------
+        cap = slab.capacity
+        s_oid = slab.order_id.tolist()
+        s_price = slab.price.tolist()
+        s_qty = slab.qty.tolist()
+        s_qty_orig = slab.qty_orig.tolist()
+        s_side = slab.side.tolist()
+        s_owner = slab.owner.tolist()
+        s_entry = slab.entry_time.tolist()
+        s_otype = slab.otype.tolist()
+        s_tif = slab.tif.tolist()
+        s_nxt = slab.nxt.tolist()
+        s_prv = slab.prv.tolist()
+        free = slab._free[: slab._n_free].tolist()
+        in_use = slab.in_use
+        high_water = slab.high_water
+        id_slot = dict(book._id_slot)
+
+        n_b = book.bids.n
+        bid_price = book.bids.prices[:n_b].tolist()
+        bid_vol = book.bids.volume[:n_b].tolist()
+        bid_head = book.bids.head[:n_b].tolist()
+        bid_tail = book.bids.tail[:n_b].tolist()
+        bid_cnt = book.bids.count[:n_b].tolist()
+        n_a = book.asks.n
+        ask_price = book.asks.prices[:n_a].tolist()
+        ask_vol = book.asks.volume[:n_a].tolist()
+        ask_head = book.asks.head[:n_a].tolist()
+        ask_tail = book.asks.tail[:n_a].tolist()
+        ask_cnt = book.asks.count[:n_a].tolist()
+
+        sequence = self._sequence
+        n_fills = 0
+        traded_quantity = 0
+        notional = 0
+        rejected = 0
+        n_orders = 0
+        n_cancels = 0
+        n_replaces = 0
+        market = int(OrderType.MARKET)
+        fok = int(TimeInForce.FOK)
+        day = int(TimeInForce.DAY)
+        limit_t = int(OrderType.LIMIT)
+        _bisect = bisect_left
+
+        for i in range(len(kinds)):
+            kind = kinds[i]
+            oid = in_oids[i]
+
+            if kind != OP_SUBMIT:
+                # OP_CANCEL and OP_REPLACE both unlink the resting row.
+                slot = id_slot.get(oid)
+                if slot is None:
+                    raise OrderBookError(f"order {oid} not in book {symbol}")
+                if kind == OP_REPLACE:
+                    new_price = in_prices[i]
+                    new_qty = in_qtys[i]
+                    if new_price <= 0 and new_qty <= 0:
+                        raise MatchingError(
+                            f"replace of order {oid} changes nothing"
+                        )
+                    side = s_side[slot]
+                    otype = s_otype[slot]
+                    tif = s_tif[slot]
+                    price = new_price if new_price > 0 else s_price[slot]
+                    qty = new_qty if new_qty > 0 else s_qty[slot]
+                if s_side[slot] == 0:
+                    lp, lv, lh, lt, lc = bid_price, bid_vol, bid_head, bid_tail, bid_cnt
+                else:
+                    lp, lv, lh, lt, lc = ask_price, ask_vol, ask_head, ask_tail, ask_cnt
+                idx = _bisect(lp, s_price[slot])
+                prv = s_prv[slot]
+                nxt = s_nxt[slot]
+                if prv == _NIL:
+                    lh[idx] = nxt
+                else:
+                    s_nxt[prv] = nxt
+                if nxt == _NIL:
+                    lt[idx] = prv
+                else:
+                    s_prv[nxt] = prv
+                lc[idx] -= 1
+                lv[idx] -= s_qty[slot]
+                if lc[idx] == 0:
+                    del lp[idx]
+                    del lv[idx]
+                    del lh[idx]
+                    del lt[idx]
+                    del lc[idx]
+                del id_slot[oid]
+                free.append(slot)
+                in_use -= 1
+                sequence += 1  # the cancel-side level update
+                if kind == OP_CANCEL:
+                    n_cancels += 1
+                    continue
+                n_replaces += 1
+            else:
+                side = in_sides[i]
+                otype = in_otypes[i]
+                tif = in_tifs[i]
+                price = in_prices[i]
+                qty = in_qtys[i]
+
+            n_orders += 1
+            remaining = qty
+            if side == 0:  # incoming bid matches asks (best = index 0)
+                opp_price, opp_vol = ask_price, ask_vol
+                opp_head, opp_tail, opp_cnt = ask_head, ask_tail, ask_cnt
+            else:  # incoming ask matches bids (best = last index)
+                opp_price, opp_vol = bid_price, bid_vol
+                opp_head, opp_tail, opp_cnt = bid_head, bid_tail, bid_cnt
+
+            if tif == fok:
+                # Fillable-volume walk, best level first, early exit.
+                available = 0
+                if side == 0:
+                    for k in range(len(opp_price)):
+                        if otype != market and opp_price[k] > price:
+                            break
+                        available += opp_vol[k]
+                        if available >= remaining:
+                            break
+                else:
+                    for k in range(len(opp_price) - 1, -1, -1):
+                        if otype != market and opp_price[k] < price:
+                            break
+                        available += opp_vol[k]
+                        if available >= remaining:
+                            break
+                if available < remaining:
+                    rejected += 1
+                    continue
+
+            # Match while the order crosses the opposite best level.
+            while remaining > 0 and opp_price:
+                best = 0 if side == 0 else len(opp_price) - 1
+                best_price = opp_price[best]
+                if otype != market:
+                    if side == 0:
+                        if price < best_price:
+                            break
+                    elif price > best_price:
+                        break
+                level_volume = opp_vol[best]
+                take = remaining if remaining < level_volume else level_volume
+                traded_quantity += take
+                notional += take * best_price
+                remaining -= take
+                sequence += 2  # trade print + level update
+                if take == level_volume:
+                    # Whole level consumed: release every maker slot.
+                    slot = opp_head[best]
+                    while slot != _NIL:
+                        del id_slot[s_oid[slot]]
+                        free.append(slot)
+                        in_use -= 1
+                        n_fills += 1
+                        slot = s_nxt[slot]
+                    del opp_price[best]
+                    del opp_vol[best]
+                    del opp_head[best]
+                    del opp_tail[best]
+                    del opp_cnt[best]
+                else:
+                    # Partial level: pop exhausted makers off the FIFO
+                    # head, reduce the last one in place.
+                    opp_vol[best] = level_volume - take
+                    left = take
+                    while left > 0:
+                        slot = opp_head[best]
+                        maker_remaining = s_qty[slot]
+                        n_fills += 1
+                        if maker_remaining <= left:
+                            left -= maker_remaining
+                            nxt = s_nxt[slot]
+                            opp_head[best] = nxt
+                            if nxt == _NIL:
+                                opp_tail[best] = _NIL
+                            else:
+                                s_prv[nxt] = _NIL
+                            opp_cnt[best] -= 1
+                            del id_slot[s_oid[slot]]
+                            free.append(slot)
+                            in_use -= 1
+                        else:
+                            s_qty[slot] = maker_remaining - left
+                            left = 0
+
+            if remaining > 0 and otype == limit_t and tif == day:
+                # Rest the remainder (NEW/CHANGE book update = one tick).
+                if not free:
+                    # Grow the slab buffers, preserving the free-stack
+                    # pop order of OrderSlab._grow.
+                    new_cap = cap * 2
+                    grow = new_cap - cap
+                    s_oid.extend([0] * grow)
+                    s_price.extend([0] * grow)
+                    s_qty.extend([0] * grow)
+                    s_qty_orig.extend([0] * grow)
+                    s_side.extend([0] * grow)
+                    s_owner.extend([0] * grow)
+                    s_entry.extend([0] * grow)
+                    s_otype.extend([0] * grow)
+                    s_tif.extend([0] * grow)
+                    s_nxt.extend([_NIL] * grow)
+                    s_prv.extend([_NIL] * grow)
+                    free.extend(range(new_cap - 1, cap - 1, -1))
+                    cap = new_cap
+                slot = free.pop()
+                in_use += 1
+                if in_use > high_water:
+                    high_water = in_use
+                s_oid[slot] = oid
+                s_price[slot] = price
+                s_qty[slot] = remaining
+                s_qty_orig[slot] = qty
+                s_side[slot] = side
+                s_owner[slot] = owner_id
+                s_entry[slot] = timestamp
+                s_otype[slot] = otype
+                s_tif[slot] = tif
+                if side == 0:
+                    lp, lv, lh, lt, lc = bid_price, bid_vol, bid_head, bid_tail, bid_cnt
+                else:
+                    lp, lv, lh, lt, lc = ask_price, ask_vol, ask_head, ask_tail, ask_cnt
+                idx = _bisect(lp, price)
+                if idx < len(lp) and lp[idx] == price:
+                    tail = lt[idx]
+                    s_prv[slot] = tail
+                    s_nxt[slot] = _NIL
+                    if tail == _NIL:
+                        lh[idx] = slot
+                    else:
+                        s_nxt[tail] = slot
+                    lt[idx] = slot
+                    lc[idx] += 1
+                    lv[idx] += remaining
+                else:
+                    lp.insert(idx, price)
+                    lv.insert(idx, remaining)
+                    lh.insert(idx, slot)
+                    lt.insert(idx, slot)
+                    lc.insert(idx, 1)
+                    s_prv[slot] = _NIL
+                    s_nxt[slot] = _NIL
+                id_slot[oid] = slot
+                sequence += 1
+
+        # -- commit: write the flat buffers back into the arrays ------------
+        slab.capacity = cap
+        slab.order_id = np.asarray(s_oid, dtype=np.int64)
+        slab.price = np.asarray(s_price, dtype=np.int64)
+        slab.qty = np.asarray(s_qty, dtype=np.int64)
+        slab.qty_orig = np.asarray(s_qty_orig, dtype=np.int64)
+        slab.side = np.asarray(s_side, dtype=np.int8)
+        slab.owner = np.asarray(s_owner, dtype=np.int32)
+        slab.entry_time = np.asarray(s_entry, dtype=np.int64)
+        slab.otype = np.asarray(s_otype, dtype=np.int8)
+        slab.tif = np.asarray(s_tif, dtype=np.int8)
+        slab.nxt = np.asarray(s_nxt, dtype=np.int32)
+        slab.prv = np.asarray(s_prv, dtype=np.int32)
+        free_arr = np.zeros(cap, dtype=np.int32)
+        free_arr[: len(free)] = free
+        slab._free = free_arr
+        slab._n_free = len(free)
+        slab.in_use = in_use
+        slab.high_water = high_water
+        book._id_slot = id_slot
+        for arr_side, lp, lv, lh, lt, lc in (
+            (book.bids, bid_price, bid_vol, bid_head, bid_tail, bid_cnt),
+            (book.asks, ask_price, ask_vol, ask_head, ask_tail, ask_cnt),
+        ):
+            n = len(lp)
+            while arr_side.prices.size < n:
+                arr_side._grow()
+            arr_side.prices[:n] = lp
+            arr_side.volume[:n] = lv
+            arr_side.head[:n] = lh
+            arr_side.tail[:n] = lt
+            arr_side.count[:n] = lc
+            arr_side.n = n
+
+        self._sequence = sequence
+        self._m_orders.inc(n_orders)
+        self._m_cancels.inc(n_cancels)
+        self._m_replaces.inc(n_replaces)
+        self._m_fills.inc(n_fills)
+        self._record_book(book)
+        return ReplayStats(
+            n_ops=len(kinds),
+            n_fills=n_fills,
+            traded_quantity=traded_quantity,
+            notional=notional,
+            rejected=rejected,
+            final_sequence=sequence,
+        )

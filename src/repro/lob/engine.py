@@ -1,0 +1,33 @@
+"""Matching-engine selection behind ``REPRO_LOB_ENGINE``.
+
+One factory, one env var: ``make_matching_engine()`` returns the
+struct-of-arrays :class:`~repro.lob.array_matching.ArrayMatchingEngine`
+by default and the object-per-order golden
+:class:`~repro.lob.matching.MatchingEngine` under
+``REPRO_LOB_ENGINE=reference``.  The two are interchangeable — same
+fills, same event stream, same sequence numbers (the lob-parity CI gate
+enforces it) — so everything book-shaped (market generator, gateway,
+agents, tests) goes through this factory instead of naming an engine.
+"""
+
+from __future__ import annotations
+
+from repro import envcfg
+from repro.lob.array_matching import ArrayMatchingEngine
+from repro.lob.matching import MatchingEngine
+from repro.metrics import MetricRegistry
+
+__all__ = ["AnyMatchingEngine", "make_matching_engine"]
+
+# The engines share their entire public surface; annotate call sites
+# with this union rather than one concrete engine.
+AnyMatchingEngine = MatchingEngine | ArrayMatchingEngine
+
+
+def make_matching_engine(
+    metrics: MetricRegistry | None = None,
+) -> MatchingEngine | ArrayMatchingEngine:
+    """The engine ``REPRO_LOB_ENGINE`` selects, with ``metrics`` threaded."""
+    if envcfg.get_choice("REPRO_LOB_ENGINE") == "reference":
+        return MatchingEngine(metrics=metrics)
+    return ArrayMatchingEngine(metrics=metrics)

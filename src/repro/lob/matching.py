@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import MatchingError
+from repro.hotpath import hot_path
 from repro.lob.book import LimitOrderBook, PriceLevel
 from repro.lob.events import BookUpdate, MarketEvent, TradeTick, UpdateAction
 from repro.lob.order import Fill, Order, OrderType, Side, TimeInForce
+from repro.metrics import NULL_METRICS, MetricRegistry
 
 
 @dataclass
@@ -40,11 +42,25 @@ class MatchResult:
 
 
 class MatchingEngine:
-    """Price–time-priority matching across one or more symbols."""
+    """Price–time-priority matching across one or more symbols.
 
-    def __init__(self) -> None:
+    ``metrics`` threads a :class:`repro.metrics.MetricRegistry` through
+    the hot path: orders / fills / cancels / replaces counters plus
+    level-count and slab-occupancy high-water gauges.  The array engine
+    records the same instruments with the same meanings (occupancy =
+    resting orders), so metric snapshots are engine-agnostic.
+    """
+
+    def __init__(self, metrics: MetricRegistry | None = None) -> None:
         self._books: dict[str, LimitOrderBook] = {}
         self._sequence = 0
+        registry = metrics if metrics is not None else NULL_METRICS
+        self._m_orders = registry.counter("lob.orders")
+        self._m_fills = registry.counter("lob.fills")
+        self._m_cancels = registry.counter("lob.cancels")
+        self._m_replaces = registry.counter("lob.replaces")
+        self._m_levels = registry.gauge("lob.levels_high_water")
+        self._m_occupancy = registry.gauge("lob.slab_occupancy_high_water")
 
     def book(self, symbol: str) -> LimitOrderBook:
         """The book for ``symbol``, created empty on first use."""
@@ -63,6 +79,12 @@ class MatchingEngine:
         self._sequence += 1
         return self._sequence
 
+    @hot_path
+    def _record_book(self, book: LimitOrderBook) -> None:
+        """Update the book-shape high-water gauges (allocation-free)."""
+        self._m_levels.set(len(book.bids) + len(book.asks))
+        self._m_occupancy.set(len(book))
+
     # -- public operations ----------------------------------------------------
 
     def submit(self, symbol: str, order: Order, timestamp: int) -> MatchResult:
@@ -71,12 +93,15 @@ class MatchingEngine:
         Limit orders match while they cross, then rest (DAY), cancel the
         remainder (IOC) or are rejected unless fully fillable (FOK).
         Market orders match until filled or the opposite side empties.
+        FOK is enforced for both LIMIT and MARKET orders (a MARKET+FOK
+        order historically degraded to IOC semantics).
         """
         book = self.book(symbol)
         order.entry_time = timestamp
         result = MatchResult(order=order)
+        self._m_orders.inc()
 
-        if order.order_type is OrderType.LIMIT and order.tif is TimeInForce.FOK:
+        if order.tif is TimeInForce.FOK:
             if self._fillable_quantity(book, order) < order.remaining:
                 result.accepted = False
                 return result
@@ -101,6 +126,8 @@ class MatchingEngine:
                     )
                 )
             # IOC / FOK remainders are simply discarded.
+        self._m_fills.inc(len(result.fills))
+        self._record_book(book)
         return result
 
     def cancel(self, symbol: str, order_id: int, timestamp: int) -> MatchResult:
@@ -110,6 +137,8 @@ class MatchingEngine:
         book.remove(order_id)
         result = MatchResult(order=order)
         result.events.append(self._level_update(book, order.side, order.price, timestamp))
+        self._m_cancels.inc()
+        self._record_book(book)
         return result
 
     def replace(
@@ -125,6 +154,8 @@ class MatchingEngine:
         The replacement keeps the original order id but loses time
         priority (it re-enters the book as a fresh submission), matching
         exchange semantics for price changes and quantity increases.
+        Because the replacement goes back through :meth:`submit`, an FOK
+        original re-runs the full-fill check at its new price/quantity.
         """
         book = self.book(symbol)
         old = book.find(order_id)
@@ -143,6 +174,7 @@ class MatchingEngine:
             owner=old.owner,
             entry_time=timestamp,
         )
+        self._m_replaces.inc()
         result = self.submit(symbol, replacement, timestamp)
         result.events.insert(0, cancel_event)
         return result

@@ -15,18 +15,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.lob.matching import MatchingEngine, MatchResult
+from repro.lob.engine import AnyMatchingEngine, make_matching_engine
+from repro.lob.matching import MatchResult
 from repro.lob.order import Order, OrderType, Side, TimeInForce
 
 
 @dataclass
 class MarketContext:
-    """Mutable state shared between agents while generating a session."""
+    """Mutable state shared between agents while generating a session.
+
+    The engine comes from :func:`repro.lob.engine.make_matching_engine`,
+    so ``REPRO_LOB_ENGINE`` decides whether agents trade against the
+    struct-of-arrays book or the object-per-order reference.
+    """
 
     symbol: str
     reference_price: float  # slowly drifting fair value, in ticks
     last_direction: int = 0  # sign of the last trade-driven mid move
-    engine: MatchingEngine = field(default_factory=MatchingEngine)
+    engine: AnyMatchingEngine = field(default_factory=make_matching_engine)
 
     @property
     def book(self):

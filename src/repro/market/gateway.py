@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
-from repro.lob.matching import MatchingEngine
+from repro.lob.engine import AnyMatchingEngine
 from repro.lob.order import Order, OrderType, TimeInForce
 from repro.protocol.ilink3 import ILink3Cancel, ILink3Order, unframe_sofh
 from repro.protocol.sbe import SecurityDirectory, peek_template_id
@@ -56,11 +56,16 @@ class GatewayStats:
 
 
 class ExchangeGateway:
-    """Order-entry session bound to one matching engine."""
+    """Order-entry session bound to one matching engine.
+
+    Works against either book engine (reference or array) — the session
+    only uses the shared ``submit``/``cancel``/``book`` surface, so
+    ``REPRO_LOB_ENGINE`` decides which one backs it.
+    """
 
     def __init__(
         self,
-        engine: MatchingEngine,
+        engine: AnyMatchingEngine,
         directory: SecurityDirectory,
         participant: str = "lighttrader",
     ) -> None:

@@ -12,12 +12,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.lob.engine import make_matching_engine
 from repro.lob.events import TradeTick
 from repro.lob.order import Order, Side
 from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
 from repro.market.agents import AgentMix, MarketContext, default_mix
 from repro.market.hawkes import BURSTY, HawkesParams, HawkesProcess
 from repro.market.replay import Tick, TickTape
+from repro.metrics import MetricRegistry
 from repro.units import sec_to_ns
 
 
@@ -51,10 +53,12 @@ class MarketSimulator:
         config: MarketConfig | None = None,
         mix: AgentMix | None = None,
         seed: int = 0,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.config = config or MarketConfig()
         self.mix = mix or default_mix()
         self.seed = seed
+        self.metrics = metrics
 
     def _seed_book(self, ctx: MarketContext) -> None:
         """Pre-populate a symmetric book so agents have liquidity to act on."""
@@ -91,7 +95,13 @@ class MarketSimulator:
         """
         cfg = self.config
         rng = np.random.default_rng(self.seed)
-        ctx = MarketContext(symbol=cfg.symbol, reference_price=float(cfg.initial_price))
+        # REPRO_LOB_ENGINE selects the book engine; both engines produce
+        # byte-identical tapes (the lob-parity CI gate enforces it).
+        ctx = MarketContext(
+            symbol=cfg.symbol,
+            reference_price=float(cfg.initial_price),
+            engine=make_matching_engine(self.metrics),
+        )
         self._seed_book(ctx)
 
         process = HawkesProcess(cfg.hawkes, rng)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import SchedulingError
 from repro.lob.order import Side
 from repro.lob.snapshot import DepthSnapshot
+from repro.metrics import NULL_METRICS, MetricRegistry
 from repro.protocol.ilink3 import ILink3Order
 from repro.units import NS_PER_SEC
 
@@ -77,6 +78,7 @@ class TradingEngine:
         self,
         security_id: int = 1,
         limits: RiskLimits | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.security_id = security_id
         self.limits = limits or RiskLimits()
@@ -84,6 +86,9 @@ class TradingEngine:
         self.counters = RiskCounters()
         self._seq = 0
         self._order_times: list[int] = []  # recent order timestamps (ns)
+        registry = metrics if metrics is not None else NULL_METRICS
+        self._m_accepted = registry.counter("risk.orders_accepted")
+        self._m_suppressed = registry.counter("risk.orders_suppressed")
 
     def on_inference(
         self,
@@ -135,6 +140,7 @@ class TradingEngine:
         self.position = new_position
         self._order_times.append(now)
         self.counters.accepted += 1
+        self._m_accepted.inc()
         return TradeDecision(
             prediction=prediction,
             side=side,
@@ -161,8 +167,8 @@ class TradingEngine:
         self._order_times = [t for t in self._order_times if t > horizon]
         return len(self._order_times) < self.limits.max_orders_per_second
 
-    @staticmethod
-    def _no_action(prediction: Prediction, reason: str) -> TradeDecision:
+    def _no_action(self, prediction: Prediction, reason: str) -> TradeDecision:
+        self._m_suppressed.inc()
         return TradeDecision(
             prediction=prediction,
             side=None,

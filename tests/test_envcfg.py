@@ -44,6 +44,7 @@ def test_registry_contents_and_defaults():
         "REPRO_METRICS",
         "REPRO_METRICS_FLUSH_NS",
         "REPRO_METRICS_EXPORT",
+        "REPRO_LOB_ENGINE",
     }
     assert by_name["REPRO_FAST_LOOP"].default is True
     assert by_name["REPRO_METRICS"].default == 1
@@ -71,6 +72,14 @@ def test_declarations_validate_themselves():
         envcfg.EnvVar("REPRO_X", "complex", 1, "doc")
     with pytest.raises(ValueError):
         envcfg.EnvVar("REPRO_X", "int", 1, "doc", on_error="explode")
+    # choice kind must declare choices, default must be a member, and
+    # non-choice kinds must not declare choices.
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("REPRO_X", "choice", "a", "doc")
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("REPRO_X", "choice", "c", "doc", choices=("a", "b"))
+    with pytest.raises(ValueError):
+        envcfg.EnvVar("REPRO_X", "int", 1, "doc", choices=("a", "b"))
 
 
 def test_accessors_enforce_declared_kind():
@@ -82,6 +91,37 @@ def test_accessors_enforce_declared_kind():
         envcfg.get_float("REPRO_BENCH_JOBS")
     with pytest.raises(SimulationError):
         envcfg.get_path("REPRO_FAST_LOOP")
+    with pytest.raises(SimulationError):
+        envcfg.get_choice("REPRO_FAST_LOOP")
+    with pytest.raises(SimulationError):
+        envcfg.get_int("REPRO_LOB_ENGINE")
+
+
+# ---------------------------------------------------------------------------
+# choice: closed token set, case-insensitive, on_error policy
+# ---------------------------------------------------------------------------
+
+
+def test_choice_default_and_tokens(monkeypatch):
+    assert envcfg.get_choice("REPRO_LOB_ENGINE") == "array"
+    for token in ("reference", "REFERENCE", " Reference "):
+        monkeypatch.setenv("REPRO_LOB_ENGINE", token)
+        assert envcfg.get_choice("REPRO_LOB_ENGINE") == "reference"
+    monkeypatch.setenv("REPRO_LOB_ENGINE", "array")
+    assert envcfg.get_choice("REPRO_LOB_ENGINE") == "array"
+    monkeypatch.setenv("REPRO_LOB_ENGINE", "")
+    assert envcfg.get_choice("REPRO_LOB_ENGINE") == "array"
+
+
+def test_choice_unknown_token_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_LOB_ENGINE", "btree")
+    with pytest.raises(SimulationError, match="must be one of"):
+        envcfg.get_choice("REPRO_LOB_ENGINE")
+
+
+def test_choice_kind_text_renders_token_set():
+    assert envcfg.LOB_ENGINE.kind_text == "reference|array"
+    assert envcfg.BENCH_JOBS.kind_text == "int"
 
 
 # ---------------------------------------------------------------------------

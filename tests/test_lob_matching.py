@@ -1,9 +1,16 @@
-"""Unit tests for the matching engine semantics."""
+"""Unit tests for the matching engine semantics.
+
+Every test runs against both book engines — the object-per-order
+reference and the struct-of-arrays implementation — so the semantics
+pinned here are pinned for the pair (the bit-exactness contract of
+``REPRO_LOB_ENGINE``).
+"""
 
 import pytest
 
 from repro.errors import MatchingError
 from repro.lob import (
+    ArrayMatchingEngine,
     MatchingEngine,
     Order,
     OrderType,
@@ -15,13 +22,24 @@ from repro.lob import (
 )
 
 
-@pytest.fixture
-def engine():
-    return MatchingEngine()
+@pytest.fixture(params=["reference", "array"])
+def engine(request):
+    if request.param == "reference":
+        return MatchingEngine()
+    return ArrayMatchingEngine()
 
 
 def limit(side, price, quantity, **kwargs):
     return Order(side=side, price=price, quantity=quantity, **kwargs)
+
+
+def volume_at(side_obj, price):
+    """Resting volume at ``price`` on either engine's book side."""
+    if hasattr(side_obj, "level_at"):  # reference BookSide
+        level = side_obj.level_at(price)
+        return 0 if level is None else level.volume
+    idx = side_obj.find(price)
+    return 0 if idx < 0 else int(side_obj.volume[idx])
 
 
 def seed_book(engine, symbol="ES"):
@@ -71,7 +89,7 @@ class TestBasicMatching:
         assert result.filled_quantity == 5
         book = engine.book("ES")
         assert book.best_bid == 102
-        assert book.bids.level_at(102).volume == 3
+        assert volume_at(book.bids, 102) == 3
 
     def test_book_never_crossed_after_matching(self, engine):
         seed_book(engine)
@@ -127,7 +145,7 @@ class TestTimeInForce:
         assert not result.accepted
         assert not result.fills
         # Book untouched.
-        assert engine.book("ES").asks.level_at(102).volume == 5
+        assert volume_at(engine.book("ES").asks, 102) == 5
 
     def test_fok_fills_when_fully_fillable(self, engine):
         seed_book(engine)
@@ -135,6 +153,38 @@ class TestTimeInForce:
         result = engine.submit("ES", order, 5)
         assert result.accepted
         assert result.filled_quantity == 9
+
+    def test_market_fok_rejected_when_book_too_thin(self, engine):
+        # Regression: MARKET+FOK used to degrade silently to IOC and
+        # partial-fill.  A market FOK for more than the whole opposite
+        # side must reject and leave the book untouched.
+        seed_book(engine)
+        order = Order(
+            side=Side.BID,
+            price=1,
+            quantity=11,  # asks hold 10 in total
+            order_type=OrderType.MARKET,
+            tif=TimeInForce.FOK,
+        )
+        result = engine.submit("ES", order, 5)
+        assert not result.accepted
+        assert not result.fills
+        assert order.remaining == 11
+        assert engine.book("ES").asks.total_volume() == 10
+
+    def test_market_fok_sweeps_when_fully_fillable(self, engine):
+        seed_book(engine)
+        order = Order(
+            side=Side.BID,
+            price=1,
+            quantity=10,
+            order_type=OrderType.MARKET,
+            tif=TimeInForce.FOK,
+        )
+        result = engine.submit("ES", order, 5)
+        assert result.accepted
+        assert result.filled_quantity == 10
+        assert engine.book("ES").asks.is_empty
 
 
 class TestCancelReplace:
@@ -184,7 +234,30 @@ class TestCancelReplace:
         order = limit(Side.BID, 100, 5)
         engine.submit("ES", order, 0)
         engine.replace("ES", order.order_id, 1, new_quantity=9)
-        assert engine.book("ES").bids.level_at(100).volume == 9
+        assert volume_at(engine.book("ES").bids, 100) == 9
+
+    def test_replace_of_fok_order_fills_when_fillable(self, engine):
+        seed_book(engine)
+        fok = limit(Side.BID, 98, 4, tif=TimeInForce.FOK, owner="planted")
+        engine.book("ES").insert(fok)
+        # Asks hold 10 through 103, so 9 at 103 fills completely.
+        result = engine.replace("ES", fok.order_id, 1, new_price=103, new_quantity=9)
+        assert result.accepted
+        assert result.filled_quantity == 9
+
+    def test_replace_of_fok_order_rejects_when_unfillable(self, engine):
+        # FOK orders never rest via submit, so plant one directly on the
+        # book (both books expose insert()) and replace it through the
+        # engine: the resubmission re-runs the full-fill check and
+        # rejects, leaving the order cancelled and the asks untouched.
+        seed_book(engine)
+        fok = limit(Side.BID, 98, 4, tif=TimeInForce.FOK, owner="planted")
+        engine.book("ES").insert(fok)
+        result = engine.replace("ES", fok.order_id, 1, new_price=102, new_quantity=9)
+        assert not result.accepted
+        assert not result.fills
+        assert fok.order_id not in engine.book("ES")
+        assert engine.book("ES").asks.total_volume() == 10
 
 
 class TestSequencing:
