@@ -1,0 +1,57 @@
+"""Scenario campaign engine: named seeded regimes gated by invariants.
+
+The campaign layer composes three pieces:
+
+- :mod:`repro.campaign.scenarios` — the registry of named, seeded
+  scenario specs (workload regimes × fault templates) that lower to
+  bench :class:`~repro.bench.runner.RunSpec` runs;
+- :mod:`repro.campaign.invariants` — property-based checks evaluated
+  against each run's evidence (metrics, trace, probes);
+- :mod:`repro.campaign.runner` — the fan-out/aggregation harness that
+  executes a campaign over the bench process pool and writes the
+  pass/fail ``campaign_report.json``.
+
+CLI: ``python -m repro.campaign run --campaign smoke --jobs 2``.
+"""
+
+from repro.campaign.invariants import (
+    BUILTIN_INVARIANTS,
+    Invariant,
+    Violation,
+    evaluate_run,
+    invariant_names,
+)
+from repro.campaign.runner import (
+    CAMPAIGN_SCHEMA,
+    CampaignOutcome,
+    CampaignRunSpec,
+    run_campaign,
+)
+from repro.campaign.scenarios import (
+    ScenarioSpec,
+    campaign_names,
+    campaign_scenarios,
+    register_campaign,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "BUILTIN_INVARIANTS",
+    "CAMPAIGN_SCHEMA",
+    "CampaignOutcome",
+    "CampaignRunSpec",
+    "Invariant",
+    "ScenarioSpec",
+    "Violation",
+    "campaign_names",
+    "campaign_scenarios",
+    "evaluate_run",
+    "invariant_names",
+    "register_campaign",
+    "register_scenario",
+    "run_campaign",
+    "scenario",
+    "scenario_names",
+]

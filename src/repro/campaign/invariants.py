@@ -1,0 +1,366 @@
+"""Property-based invariants evaluated against campaign run evidence.
+
+Each run of a scenario produces an **evidence** dict — the
+:class:`~repro.sim.metrics.RunResult` digest, the metric registry's
+public snapshot, the per-run JSONL trace, and the worker probes — and
+every :class:`Invariant` inspects that evidence for one property the
+system must hold under *any* scenario:
+
+- ``run_completed`` — the worker returned a result (crash containment
+  turns a dead worker into a named verdict, not a missing row);
+- ``trace_readable`` — the telemetry trace parses (corruption is
+  attributed to the scenario via :func:`repro.telemetry.report.trace_error`);
+- ``bounded_miss_rate`` — degraded, not collapsed: the miss rate stays
+  inside the scenario's bound and the run answered queries;
+- ``no_negative_queue_depth`` — counters and the queue high-water mark
+  are non-negative and the high-water respects ``max_pending``;
+- ``offload_conservation`` — every admitted query is accounted for:
+  ``admitted == responded + completed_late + dropped + unscored`` (the
+  end-of-run drain empties the queue, so nothing is in flight);
+- ``book_integrity`` — two generator passes agree checksum-for-checksum
+  (:meth:`~repro.lob.snapshot.DepthSnapshot.checksum`) and every ladder
+  is structurally valid;
+- ``quarantine_isolation`` — no batch is *issued* on a device inside its
+  quarantine window (reconstructed from the trace's fault events);
+- ``power_budget`` — no power sample exceeds the condition's budget
+  after redistribution (LightTrader profiles only — the fixed GPU/FPGA
+  baselines have no budget to enforce);
+- ``monotone_sequence_after_resync`` — the feed tracker's accepted
+  sequence numbers stay strictly monotone through gaps and resyncs, and
+  its loss/duplicate accounting matches the perturbation schedule.
+
+Violations carry (scenario, seed, invariant, detail) so the campaign
+runner can print the one-line diagnosis the gate demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.spans import FIXED_PRE_STAGES
+
+__all__ = [
+    "BUILTIN_INVARIANTS",
+    "BookIntegrity",
+    "BoundedMissRate",
+    "Invariant",
+    "MonotoneSequenceAfterResync",
+    "NoNegativeQueueDepth",
+    "OffloadConservation",
+    "PowerBudget",
+    "QuarantineIsolation",
+    "RunCompleted",
+    "TraceReadable",
+    "Violation",
+    "evaluate_run",
+    "invariant_names",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant on one (scenario, seed) run."""
+
+    scenario: str
+    seed: int
+    invariant: str
+    detail: str
+
+    def diagnosis(self) -> str:
+        """The one-line machine-grepable verdict the campaign prints."""
+        return (
+            f"scenario={self.scenario} seed={self.seed} "
+            f"invariant={self.invariant}: {self.detail}"
+        )
+
+
+class Invariant:
+    """One property checked against a run's evidence.
+
+    Subclasses set ``name``/``description`` and implement
+    :meth:`check`, returning detail strings (empty = pass).  ``events``
+    is the parsed trace (None when tracing was off or the trace failed
+    to parse — the trace-dependent invariants skip then, and
+    ``trace_readable`` owns the failure).
+    """
+
+    name = "invariant"
+    description = ""
+
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
+        raise NotImplementedError
+
+
+def _counters(evidence: dict) -> dict:
+    return evidence.get("metrics", {}).get("counters", {})
+
+
+def _gauges(evidence: dict) -> dict:
+    return evidence.get("metrics", {}).get("gauges", {})
+
+
+class RunCompleted(Invariant):
+    name = "run_completed"
+    description = "The run produced a result (no worker crash, no timeout)."
+
+    def check(self, evidence, events):
+        error = evidence.get("error")
+        if error:
+            return [f"run did not complete: {error}"]
+        if not evidence.get("result"):
+            return ["run completed without a result digest"]
+        return []
+
+
+class TraceReadable(Invariant):
+    name = "trace_readable"
+    description = "The per-run telemetry trace parses cleanly."
+
+    def check(self, evidence, events):
+        error = evidence.get("trace_error")
+        if error:
+            return [
+                f"{error.get('error', 'trace_error')}: "
+                + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(error.items())
+                    if key != "error"
+                )
+            ]
+        return []
+
+
+class BoundedMissRate(Invariant):
+    name = "bounded_miss_rate"
+    description = "Miss rate stays inside the scenario bound; queries answered."
+
+    def check(self, evidence, events):
+        result = evidence.get("result")
+        if not result:
+            return []  # run_completed owns the missing-result case
+        bound = evidence.get("params", {}).get("max_miss_rate", 0.5)
+        out = []
+        if result.get("responded", 0) <= 0:
+            out.append("run answered zero queries (cluster wedged)")
+        miss = result.get("miss_rate")
+        if miss is None or miss != miss:  # NaN guards
+            out.append(f"miss rate unavailable ({miss!r})")
+        elif miss > bound:
+            out.append(f"miss rate {miss:.3f} exceeds the {bound:.3f} bound")
+        return out
+
+
+class NoNegativeQueueDepth(Invariant):
+    name = "no_negative_queue_depth"
+    description = "Queue/counter accounting never goes negative or over cap."
+
+    def check(self, evidence, events):
+        out = []
+        for name, value in sorted(_counters(evidence).items()):
+            if value < 0:
+                out.append(f"counter {name} is negative ({value})")
+        gauges = _gauges(evidence)
+        high_water = gauges.get("offload.queue_depth_high_water")
+        if high_water is not None:
+            depth = high_water.get("value", 0.0)
+            if depth < 0:
+                out.append(f"queue depth high-water is negative ({depth})")
+            max_pending = evidence.get("config", {}).get("max_pending")
+            if max_pending is not None and depth > max_pending:
+                out.append(
+                    f"queue depth high-water {depth:g} exceeds "
+                    f"max_pending {max_pending}"
+                )
+        return out
+
+
+class OffloadConservation(Invariant):
+    name = "offload_conservation"
+    description = "admitted == responded + completed_late + dropped + unscored."
+
+    def check(self, evidence, events):
+        counters = _counters(evidence)
+        if "offload.admitted" not in counters:
+            return []  # metrics disabled: nothing to conserve against
+        admitted = counters["offload.admitted"]
+        outcomes = (
+            counters.get("queries.responded", 0)
+            + counters.get("queries.completed_late", 0)
+            + counters.get("queries.dropped", 0)
+            + counters.get("queries.unscored", 0)
+        )
+        if admitted != outcomes:
+            return [
+                f"offload.admitted {admitted} != outcomes {outcomes} "
+                f"(responded {counters.get('queries.responded', 0)}, "
+                f"late {counters.get('queries.completed_late', 0)}, "
+                f"dropped {counters.get('queries.dropped', 0)}, "
+                f"unscored {counters.get('queries.unscored', 0)})"
+            ]
+        return []
+
+
+class BookIntegrity(Invariant):
+    name = "book_integrity"
+    description = "Depth-snapshot checksums reproduce; ladders stay valid."
+
+    def check(self, evidence, events):
+        probe = evidence.get("probes", {}).get("book")
+        if not probe:
+            return []
+        out = []
+        if probe.get("checksum") != probe.get("checksum_repeat"):
+            out.append(
+                f"book checksum diverged across passes "
+                f"({probe.get('checksum')} != {probe.get('checksum_repeat')})"
+            )
+        if probe.get("ticks", 0) <= 0:
+            out.append("book probe produced an empty tape")
+        for violation in probe.get("violations", []):
+            out.append(f"book structure: {violation}")
+        return out
+
+
+class QuarantineIsolation(Invariant):
+    name = "quarantine_isolation"
+    description = "No batch issues on a device inside its quarantine window."
+
+    def check(self, evidence, events):
+        if events is None:
+            return []
+        windows: dict[int, list[list[float]]] = {}
+        for event in events:
+            if event.get("type") != "fault":
+                continue
+            accel = event.get("accel_id")
+            if accel is None:
+                continue
+            if event.get("kind") == "device_failure":
+                windows.setdefault(accel, []).append([event["t_ns"], float("inf")])
+            elif event.get("kind") == "device_recovery":
+                open_windows = windows.get(accel, [])
+                if open_windows and open_windows[-1][1] == float("inf"):
+                    open_windows[-1][1] = event["t_ns"]
+        if not windows:
+            return []
+        out = []
+        for event in events:
+            if event.get("type") != "query":
+                continue
+            if event.get("outcome") not in ("in_time", "late"):
+                continue
+            accel = event.get("accel_id")
+            if accel is None or accel not in windows:
+                continue
+            stages = event.get("stages", {})
+            issue = event["arrival_ns"] + sum(
+                stages.get(stage, 0) for stage in FIXED_PRE_STAGES
+            ) + stages.get("queue_wait", 0)
+            for start, end in windows[accel]:
+                if start < issue < end:
+                    out.append(
+                        f"query {event.get('query_id')} issued at {issue} ns on "
+                        f"accel {accel} inside quarantine [{start}, "
+                        f"{'∞' if end == float('inf') else int(end)}) ns"
+                    )
+                    break
+            if len(out) >= 5:
+                out.append("... further quarantine violations elided")
+                break
+        return out
+
+
+class PowerBudget(Invariant):
+    name = "power_budget"
+    description = "No power sample exceeds the condition's budget."
+
+    def check(self, evidence, events):
+        if events is None:
+            return []
+        if evidence.get("profile") != "lighttrader":
+            return []  # fixed baselines have no budget to redistribute
+        budget = evidence.get("config", {}).get("budget_w")
+        if budget is None:
+            return []
+        epsilon = evidence.get("params", {}).get("power_epsilon_w", 1e-6)
+        worst = None
+        for event in events:
+            if event.get("type") != "power":
+                continue
+            watts = event.get("watts", 0.0)
+            if watts > budget + epsilon and (worst is None or watts > worst[1]):
+                worst = (event.get("t_ns"), watts)
+        if worst is not None:
+            return [
+                f"power sample {worst[1]:.3f} W at t={worst[0]} ns exceeds the "
+                f"{budget:g} W budget"
+            ]
+        return []
+
+
+class MonotoneSequenceAfterResync(Invariant):
+    name = "monotone_sequence_after_resync"
+    description = "Feed sequence numbers stay monotone; loss accounting exact."
+
+    def check(self, evidence, events):
+        probe = evidence.get("probes", {}).get("feed")
+        if not probe:
+            return []
+        out = []
+        if not probe.get("accepted_monotone", True):
+            out.append("accepted sequence numbers went backwards after a resync")
+        if not probe.get("duplicates_ordered", True):
+            out.append("a 'duplicate' verdict ran ahead of the accepted stream")
+        lost, expected_lost = probe.get("lost_packets"), probe.get("expected_lost")
+        if lost != expected_lost:
+            out.append(
+                f"lost-packet accounting off: tracker {lost}, "
+                f"perturbation schedule {expected_lost}"
+            )
+        dups = probe.get("duplicates")
+        expected_dups = probe.get("expected_duplicates")
+        if dups != expected_dups:
+            out.append(
+                f"duplicate accounting off: tracker {dups}, "
+                f"perturbation schedule {expected_dups}"
+            )
+        return out
+
+
+BUILTIN_INVARIANTS: tuple[Invariant, ...] = (
+    RunCompleted(),
+    TraceReadable(),
+    BoundedMissRate(),
+    NoNegativeQueueDepth(),
+    OffloadConservation(),
+    BookIntegrity(),
+    QuarantineIsolation(),
+    PowerBudget(),
+    MonotoneSequenceAfterResync(),
+)
+
+
+def invariant_names(invariants: tuple[Invariant, ...] = BUILTIN_INVARIANTS) -> tuple:
+    return tuple(invariant.name for invariant in invariants)
+
+
+def evaluate_run(
+    evidence: dict,
+    events: list[dict] | None,
+    invariants: tuple[Invariant, ...] = BUILTIN_INVARIANTS,
+) -> tuple[dict, list[Violation]]:
+    """Check every invariant; returns (verdict map, violations).
+
+    The verdict map is ``{invariant name: 'pass' | 'fail'}`` for the
+    report; violations carry the per-run one-line diagnoses.
+    """
+    scenario = evidence.get("scenario", "?")
+    seed = int(evidence.get("seed", -1))
+    verdicts: dict[str, str] = {}
+    violations: list[Violation] = []
+    for invariant in invariants:
+        details = invariant.check(evidence, events)
+        verdicts[invariant.name] = "fail" if details else "pass"
+        for detail in details:
+            violations.append(Violation(scenario, seed, invariant.name, detail))
+    return verdicts, violations

@@ -201,6 +201,20 @@ BENCH_DURATION = _declare(
     )
 )
 
+BENCH_TIMEOUT_S = _declare(
+    EnvVar(
+        "REPRO_BENCH_TIMEOUT_S",
+        "float",
+        0.0,
+        "Per-run wall-clock timeout in seconds for pooled benchmark "
+        "runs (jobs > 1): a run exceeding it is contained as a "
+        "RunFailure (its worker is terminated) instead of hanging the "
+        "grid. 0 disables the timeout; inline runs (jobs=1) are never "
+        "preempted.",
+        minimum=0.0,
+    )
+)
+
 BENCH_CRASH_FILE = _declare(
     EnvVar(
         "REPRO_BENCH_CRASH_FILE",
@@ -251,6 +265,42 @@ LOB_ENGINE = _declare(
         "fills, events and sequence numbers — the lob-parity CI gate "
         "holds them to it.",
         choices=("reference", "array"),
+    )
+)
+
+CAMPAIGN_DIR = _declare(
+    EnvVar(
+        "REPRO_CAMPAIGN_DIR",
+        "path",
+        None,
+        "Default output directory for scenario campaigns (per-run JSONL "
+        "traces + campaign_report.json); `python -m repro.campaign run "
+        "--dir` overrides it, and with neither set a temporary "
+        "directory is used and discarded.",
+    )
+)
+
+CAMPAIGN_DURATION = _declare(
+    EnvVar(
+        "REPRO_CAMPAIGN_DURATION",
+        "float",
+        3.0,
+        "Default simulated seconds per campaign scenario run (the CI "
+        "smoke campaign uses this default; research campaigns pass "
+        "--duration for full-fidelity sweeps).",
+        minimum=0.5,
+    )
+)
+
+CAMPAIGN_SEED = _declare(
+    EnvVar(
+        "REPRO_CAMPAIGN_SEED",
+        "int",
+        1,
+        "Default base seed for campaign runs: each scenario runs at "
+        "(base seed + its per-scenario offset), so one knob reseeds a "
+        "whole campaign reproducibly.",
+        minimum=0,
     )
 )
 

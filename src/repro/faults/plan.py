@@ -123,6 +123,34 @@ class FaultPlan:
         return out
 
 
+def merge_plans(*plans: FaultPlan) -> FaultPlan:
+    """Compose fault plans into one deterministic schedule.
+
+    Scenario templates layer independently-sampled plans (a feed storm
+    on top of a failure cascade on top of a thermal ramp) without
+    hand-sorting events.  The merged event order is pinned by the
+    three-level tie-break **(t_ns, kind, seq)**: time first, then fault
+    kind (lexicographic), then ``seq`` — the event's position in the
+    concatenation of ``plans`` left to right — so merging the same plans
+    in the same order always yields the byte-identical schedule, and two
+    same-kind events at the same instant keep their source-plan order.
+    (The simulator's own ``cluster_events()`` sort is stable on ``t_ns``,
+    so the merged order survives replay.)
+
+    The merged ``seed`` is kept only when every non-empty input agrees
+    on it (provenance, never re-sampled); otherwise it is ``None``.
+    """
+    events: list[FaultEvent] = []
+    for plan in plans:
+        events.extend(plan.events)
+    order = sorted(
+        range(len(events)), key=lambda i: (events[i].t_ns, events[i].kind, i)
+    )
+    seeds = {plan.seed for plan in plans if not plan.empty and plan.seed is not None}
+    seed = seeds.pop() if len(seeds) == 1 else None
+    return FaultPlan(events=tuple(events[i] for i in order), seed=seed)
+
+
 def seeded_plan(
     duration_s: float,
     n_accelerators: int,

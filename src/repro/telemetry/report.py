@@ -33,6 +33,7 @@ __all__ = [
     "main",
     "render_report",
     "stage_table",
+    "trace_error",
 ]
 
 
@@ -222,6 +223,42 @@ def render_report(path: str | Path) -> str:
     return "\n".join(parts)
 
 
+def trace_error(path: str | Path) -> dict | None:
+    """Classify one trace file: None when it renders cleanly, else a
+    machine-readable error descriptor.
+
+    The descriptor always carries ``error`` (``corrupt_trace`` /
+    ``malformed_trace`` / ``unreadable_trace``) and ``path``; corrupt
+    traces add the failing ``line``.  This is the shared exit-1 surface:
+    ``--quiet`` prints it as one JSON line, and the campaign runner
+    embeds it in run evidence so trace corruption is attributed to a
+    (scenario, seed) instead of being swallowed.
+    """
+    _, error = _try_render(path)
+    return error
+
+
+def _try_render(path: str | Path) -> tuple[str | None, dict | None]:
+    """(rendered report, None) or (None, error descriptor)."""
+    try:
+        return render_report(path), None
+    except json.JSONDecodeError as exc:
+        return None, {"error": "corrupt_trace", "path": str(path), "line": exc.lineno}
+    except (KeyError, TypeError, ValueError) as exc:
+        return None, {
+            "error": "malformed_trace",
+            "path": str(path),
+            "exception": type(exc).__name__,
+            "detail": str(exc),
+        }
+    except OSError as exc:
+        return None, {
+            "error": "unreadable_trace",
+            "path": str(path),
+            "detail": str(exc),
+        }
+
+
 def _expand(paths: list[str]) -> list[Path]:
     out: list[Path] = []
     for raw in paths:
@@ -240,35 +277,53 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.telemetry.report", description=__doc__
     )
     parser.add_argument("paths", nargs="+", help="JSONL trace files or directories")
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="machine mode: no reports; every exit-1 condition is one "
+        "JSON error line on stdout",
+    )
     args = parser.parse_args(argv)
     try:
         files = _expand(args.paths)
     except FileNotFoundError as exc:
-        print(exc, file=sys.stderr)
+        if args.quiet:
+            print(json.dumps({"error": "no_such_path", "detail": str(exc)}))
+        else:
+            print(exc, file=sys.stderr)
         return 1
     if not files:
-        print("no .jsonl traces found", file=sys.stderr)
+        if args.quiet:
+            print(json.dumps({"error": "no_traces_found", "paths": args.paths}))
+        else:
+            print("no .jsonl traces found", file=sys.stderr)
         return 1
     status = 0
-    for index, path in enumerate(files):
-        if index:
-            print()
-        try:
-            print(render_report(path))
-        except json.JSONDecodeError as exc:
-            print(f"error: corrupt trace {path}: line {exc.lineno}", file=sys.stderr)
-            status = 1
-        except (KeyError, TypeError, ValueError) as exc:
+    printed = 0
+    for path in files:
+        text, error = _try_render(path)
+        if error is None:
+            if not args.quiet:
+                if printed:
+                    print()
+                print(text)
+                printed += 1
+            continue
+        status = 1
+        if args.quiet:
+            print(json.dumps(error, sort_keys=True))
+        elif error["error"] == "corrupt_trace":
+            print(f"error: corrupt trace {path}: line {error['line']}", file=sys.stderr)
+        elif error["error"] == "malformed_trace":
             # Truncated or structurally malformed events: one clear line,
             # nonzero exit, keep rendering the remaining traces.
             print(
-                f"error: malformed trace {path}: {type(exc).__name__}: {exc}",
+                f"error: malformed trace {path}: "
+                f"{error['exception']}: {error['detail']}",
                 file=sys.stderr,
             )
-            status = 1
-        except OSError as exc:
-            print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
-            status = 1
+        else:
+            print(f"error: cannot read trace {path}: {error['detail']}", file=sys.stderr)
     return status
 
 

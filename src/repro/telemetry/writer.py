@@ -63,12 +63,24 @@ class TraceWriter:
 
 
 def iter_events(path: str | os.PathLike) -> Iterator[dict]:
-    """Yield events from one JSONL trace file."""
+    """Yield events from one JSONL trace file.
+
+    A corrupt line raises :class:`json.JSONDecodeError` whose ``lineno``
+    is the *file* line (each line is parsed as its own document, so the
+    raw error would always claim line 1).
+    """
     with open(path, encoding="utf-8") as stream:
-        for line in stream:
+        for number, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                padded = "\n" * (number - 1) + exc.doc
+                raise json.JSONDecodeError(
+                    exc.msg, padded, exc.pos + number - 1
+                ) from None
 
 
 def read_events(path: str | os.PathLike) -> list[dict]:

@@ -150,6 +150,108 @@ def test_ordinary_exception_still_propagates():
         run_many([specs[0], bad], jobs=2)
 
 
+@dataclasses.dataclass(frozen=True)
+class _TinySpec:
+    """Minimal spec for custom-worker tests (no workload attribute)."""
+
+    run_name: str
+    sleep_s: float = 0.0
+
+
+def _tiny_worker(spec):
+    import time as _time
+
+    if spec.sleep_s:
+        _time.sleep(spec.sleep_s)
+    return ("ran", spec.run_name)
+
+
+def test_custom_worker_runs_through_the_pool():
+    specs = [_TinySpec("a"), _TinySpec("b"), _TinySpec("c")]
+    assert run_many(specs, jobs=2, worker=_tiny_worker) == [
+        ("ran", "a"),
+        ("ran", "b"),
+        ("ran", "c"),
+    ]
+    # Inline path uses the same worker.
+    assert run_many(specs, jobs=1, worker=_tiny_worker) == [
+        ("ran", "a"),
+        ("ran", "b"),
+        ("ran", "c"),
+    ]
+
+
+def test_timeout_contains_wedged_run_as_runfailure():
+    from repro.bench.runner import RunFailure
+
+    specs = [_TinySpec("fast1"), _TinySpec("slow", sleep_s=60.0), _TinySpec("fast2")]
+    results = run_many(specs, jobs=2, worker=_tiny_worker, timeout_s=1.0)
+    assert results[0] == ("ran", "fast1")
+    assert results[2] == ("ran", "fast2")
+    failure = results[1]
+    assert isinstance(failure, RunFailure)
+    assert failure.spec_index == 1
+    assert "wall-clock timeout" in failure.error
+    assert not failure  # falsy placeholder, like crash failures
+
+
+def test_timeout_env_default(monkeypatch):
+    from repro.bench.runner import BENCH_TIMEOUT_S_ENV, default_timeout_s
+
+    monkeypatch.delenv(BENCH_TIMEOUT_S_ENV, raising=False)
+    assert default_timeout_s() == 0.0  # off by default
+    monkeypatch.setenv(BENCH_TIMEOUT_S_ENV, "2.5")
+    assert default_timeout_s() == 2.5
+    monkeypatch.setenv(BENCH_TIMEOUT_S_ENV, "-1")
+    assert default_timeout_s() == 0.0  # clamped to the minimum
+    monkeypatch.setenv(BENCH_TIMEOUT_S_ENV, "soon")
+    with pytest.raises(SimulationError):
+        default_timeout_s()
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    from repro.bench.runner import _BACKOFF_BASE_S, _BACKOFF_CAP_S, _backoff_s
+
+    assert _backoff_s(1) == _BACKOFF_BASE_S
+    assert _backoff_s(2) == 2 * _BACKOFF_BASE_S
+    assert _backoff_s(3) == 4 * _BACKOFF_BASE_S
+    assert _backoff_s(100) == _BACKOFF_CAP_S
+
+
+def test_retry_sleeps_with_backoff_between_pool_rebuilds(tmp_path, monkeypatch):
+    import repro.bench.runner as runner_module
+    from repro.bench.runner import BENCH_CRASH_FILE_ENV, _backoff_s
+
+    slept = []
+    monkeypatch.setattr(runner_module.time, "sleep", slept.append)
+    specs = _grid()
+    crash_file = tmp_path / "crash"
+    crash_file.write_text(specs[2].run_name)
+    monkeypatch.setenv(BENCH_CRASH_FILE_ENV, str(crash_file))
+    results = run_many(specs, jobs=2, retries=2)
+    assert all(not isinstance(r, runner_module.RunFailure) for r in results)
+    # One pool rebuild after the crash → one backoff sleep.
+    assert slept == [_backoff_s(1)]
+
+
+def test_workload_spec_traffic_override():
+    from repro.sim.workload import Regime, TrafficSpec
+
+    custom = TrafficSpec(
+        calm=Regime("calm", rate_hz=100.0, mean_dwell_s=2.0),
+        episodes=(Regime("burst", rate_hz=20_000.0, mean_dwell_s=0.05),),
+        episode_weights=(1.0,),
+    )
+    default_spec = WorkloadSpec(duration_s=DURATION, seed=3, name="traffic-test")
+    custom_spec = dataclasses.replace(default_spec, traffic=custom)
+    assert custom_spec != default_spec  # distinct cache keys
+    default_workload = default_spec.build()
+    custom_workload = custom_spec.build()
+    assert len(custom_workload) != len(default_workload)
+    # The spec stays hashable (cache key) and rebuilds the same workload.
+    assert custom_spec.build() is custom_workload
+
+
 def test_fault_plan_travels_to_workers():
     from repro.faults import FaultEvent, FaultPlan, DEVICE_FAILURE
     from repro.units import sec_to_ns

@@ -41,6 +41,10 @@ def test_registry_contents_and_defaults():
         "REPRO_BENCH_RETRIES",
         "REPRO_BENCH_DURATION",
         "REPRO_BENCH_CRASH_FILE",
+        "REPRO_BENCH_TIMEOUT_S",
+        "REPRO_CAMPAIGN_DIR",
+        "REPRO_CAMPAIGN_DURATION",
+        "REPRO_CAMPAIGN_SEED",
         "REPRO_METRICS",
         "REPRO_METRICS_FLUSH_NS",
         "REPRO_METRICS_EXPORT",
@@ -54,6 +58,10 @@ def test_registry_contents_and_defaults():
     assert by_name["REPRO_TRACE_LEVEL"].default == 2
     assert by_name["REPRO_BENCH_JOBS"].default == 1
     assert by_name["REPRO_BENCH_DURATION"].default == 60.0
+    assert by_name["REPRO_BENCH_TIMEOUT_S"].default == 0.0
+    assert by_name["REPRO_CAMPAIGN_DIR"].default is None
+    assert by_name["REPRO_CAMPAIGN_DURATION"].default == 3.0
+    assert by_name["REPRO_CAMPAIGN_SEED"].default == 1
 
 
 def test_lookup_rejects_unregistered_names():

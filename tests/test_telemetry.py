@@ -314,6 +314,48 @@ class TestBacktestIntegration:
         err = capsys.readouterr().err
         assert err.startswith("error: malformed trace")
 
+    def test_report_quiet_mode_emits_json_error_lines(self, tmp_path, capsys):
+        import json as _json
+
+        (tmp_path / "corrupt.jsonl").write_text('{"type": "run"}\n{broken\n')
+        (tmp_path / "truncated.jsonl").write_text(
+            '{"type": "query", "outcome": "in_time"}\n'
+        )
+        assert report_main(["--quiet", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.err == ""  # machine mode: nothing on stderr
+        lines = [
+            _json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert [entry["error"] for entry in lines] == [
+            "corrupt_trace",
+            "malformed_trace",
+        ]
+        assert lines[0]["line"] == 2
+
+    def test_report_quiet_mode_missing_path(self, tmp_path, capsys):
+        import json as _json
+
+        assert report_main(["--quiet", str(tmp_path / "absent.jsonl")]) == 1
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        (entry,) = [
+            _json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert entry["error"] == "no_such_path"
+
+    def test_trace_error_classifier(self, tmp_path):
+        from repro.telemetry.report import trace_error
+
+        good = tmp_path / "good.jsonl"
+        good.write_text('{"type": "run", "system": "x"}\n')
+        assert trace_error(good) is None
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{nope\n")
+        descriptor = trace_error(bad)
+        assert descriptor["error"] == "corrupt_trace"
+        assert descriptor["line"] == 1
+
     def test_report_keeps_rendering_after_a_bad_trace(
         self, tmp_path, small_workload, monkeypatch, capsys
     ):
