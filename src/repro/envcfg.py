@@ -259,12 +259,39 @@ LOB_ENGINE = _declare(
         "REPRO_LOB_ENGINE",
         "choice",
         "array",
-        "Limit-order-book engine: 'array' (struct-of-arrays numpy book "
-        "and matching kernels, the default) or 'reference' (the "
+        "Limit-order-book engine: 'array' (struct-of-arrays book and "
+        "batch matching kernels, the default) or 'reference' (the "
         "object-per-order golden model). Both produce bit-identical "
         "fills, events and sequence numbers — the lob-parity CI gate "
         "holds them to it.",
         choices=("reference", "array"),
+    )
+)
+
+MARKET_FAST = _declare(
+    EnvVar(
+        "REPRO_MARKET_FAST",
+        "bool",
+        True,
+        "Market-generator fast path: agents plan plain-int ops executed "
+        "through the array book's checkout/commit replay kernel instead "
+        "of per-call submit/cancel. Produces byte-identical tapes to "
+        "the reference loop (CI-gated via tape sha256); 0/false/no "
+        "falls back to the reference loop. Only the array engine has a "
+        "fast path — under REPRO_LOB_ENGINE=reference the reference "
+        "loop always runs.",
+    )
+)
+
+TAPE_CACHE = _declare(
+    EnvVar(
+        "REPRO_TAPE_CACHE",
+        "path",
+        None,
+        "Directory for the on-disk level of the tick-tape cache "
+        "(compressed npz, content-keyed by market config + seed + "
+        "duration). Unset disables the disk level; the in-process "
+        "memory level is always on for repro.market.tape_cache users.",
     )
 )
 

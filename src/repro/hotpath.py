@@ -44,5 +44,9 @@ MANIFEST: frozenset[str] = frozenset(
         "repro/lob/array_book.py::ArraySide.append_order",
         "repro/lob/array_book.py::ArraySide.unlink_order",
         "repro/lob/array_book.py::ArrayBook.drop_slot",
+        "repro/lob/array_matching.py::ReplaySession.submit",
+        "repro/lob/array_matching.py::ReplaySession.cancel",
+        "repro/lob/array_matching.py::ReplaySession.replace",
+        "repro/lob/array_matching.py::ReplaySession._unlink",
     }
 )

@@ -9,7 +9,12 @@ independent books in one vectorized pass).  Pick via
 """
 
 from repro.lob.array_book import ArrayBook, ArraySide, LevelView, OrderSlab
-from repro.lob.array_matching import ArrayMatchingEngine, OpBatch, ReplayStats
+from repro.lob.array_matching import (
+    ArrayMatchingEngine,
+    OpBatch,
+    ReplaySession,
+    ReplayStats,
+)
 from repro.lob.batched import BatchedBooks, BookOps, StepResult
 from repro.lob.book import BookSide, LimitOrderBook, PriceLevel
 from repro.lob.engine import AnyMatchingEngine, make_matching_engine
@@ -41,6 +46,7 @@ __all__ = [
     "OrderSlab",
     "OrderType",
     "PriceLevel",
+    "ReplaySession",
     "ReplayStats",
     "Side",
     "StepResult",

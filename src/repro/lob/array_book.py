@@ -2,16 +2,25 @@
 
 Where :class:`repro.lob.book.LimitOrderBook` keeps one Python object per
 order (``Order`` dataclasses in per-level ``OrderedDict`` queues), this
-module keeps the whole book in a handful of numpy arrays, JAX-LOB style:
+module keeps the whole book in a handful of parallel columns, JAX-LOB
+style:
 
-- an :class:`OrderSlab` — fixed-capacity (doubling) parallel int arrays
+- an :class:`OrderSlab` — fixed-capacity (doubling) parallel int columns
   ``price/qty/side/owner/entry_time`` plus intrusive ``next/prev`` links
   that thread each price level's FIFO queue through the slab, with a
   free-list stack for O(1) allocate/release;
-- two :class:`ArraySide` structures — sorted price-level arrays with
+- two :class:`ArraySide` structures — sorted price-level columns with
   incrementally maintained aggregate volume, head/tail slot indices and
   per-level order counts, kept packed so best-price lookups, crossing
-  checks and top-N snapshots are array slices.
+  checks and top-N snapshots are plain slices.
+
+The columns are Python ``list``s of ints rather than numpy arrays: every
+per-operation access is a handful of scalar reads and one ``bisect``,
+and boxing those through numpy scalars made the per-op path slower than
+the object-per-order reference (the "numpy scalar tax" ROADMAP.md calls
+out).  Plain lists keep the same packed struct-of-arrays layout — and
+the batch kernel's checkout/commit becomes cheap list copies instead of
+``tolist``/``asarray`` round-trips.
 
 The book exposes the same read surface as the reference
 (``best_bid``/``best_ask``/``mid_price``/``spread``/``is_crossed``/
@@ -23,10 +32,9 @@ mirroring the book/matching split of the reference implementation.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterator
 from typing import NamedTuple
-
-import numpy as np
 
 from repro.errors import OrderBookError
 from repro.hotpath import hot_path
@@ -35,6 +43,12 @@ from repro.lob.order import Order, OrderType, Side, TimeInForce
 __all__ = ["ArrayBook", "ArraySide", "LevelView", "OrderSlab", "OwnerTable"]
 
 _NIL = -1  # null slot / level index sentinel
+
+# Dense-int -> enum lookup tables: indexing a tuple is several times
+# cheaper than calling the enum constructor in the per-op hot path.
+_SIDES = (Side.BID, Side.ASK)
+_OTYPES = (OrderType.LIMIT, OrderType.MARKET)
+_TIFS = (TimeInForce.DAY, TimeInForce.IOC, TimeInForce.FOK)
 
 
 class LevelView(NamedTuple):
@@ -51,7 +65,7 @@ class LevelView(NamedTuple):
 
 
 class OwnerTable:
-    """Interns owner strings to dense int32 ids (and back).
+    """Interns owner strings to dense int ids (and back).
 
     The slab stores owners as integers; fills must surface the exact
     original strings, so the table keeps both directions.
@@ -82,8 +96,10 @@ class OrderSlab:
 
     One row per live resting order.  ``nxt``/``prv`` thread the FIFO
     queue of each price level through the slab (time priority = list
-    order); the free list is a plain int32 stack, so allocation and
-    release are O(1) with no Python object churn.
+    order); the free list is a plain int stack, so allocation and
+    release are O(1) with no Python object churn.  Every column is a
+    plain list of ints — scalar reads and writes never box through
+    numpy.
     """
 
     __slots__ = (
@@ -100,69 +116,57 @@ class OrderSlab:
         "nxt",
         "prv",
         "_free",
-        "_n_free",
         "in_use",
         "high_water",
     )
 
     def __init__(self, capacity: int = 1024) -> None:
         self.capacity = int(capacity)
-        self.order_id = np.zeros(self.capacity, dtype=np.int64)
-        self.price = np.zeros(self.capacity, dtype=np.int64)
-        self.qty = np.zeros(self.capacity, dtype=np.int64)
-        self.qty_orig = np.zeros(self.capacity, dtype=np.int64)
-        self.side = np.zeros(self.capacity, dtype=np.int8)
-        self.owner = np.zeros(self.capacity, dtype=np.int32)
-        self.entry_time = np.zeros(self.capacity, dtype=np.int64)
-        self.otype = np.zeros(self.capacity, dtype=np.int8)
-        self.tif = np.zeros(self.capacity, dtype=np.int8)
-        self.nxt = np.full(self.capacity, _NIL, dtype=np.int32)
-        self.prv = np.full(self.capacity, _NIL, dtype=np.int32)
+        self.order_id = [0] * self.capacity
+        self.price = [0] * self.capacity
+        self.qty = [0] * self.capacity
+        self.qty_orig = [0] * self.capacity
+        self.side = [0] * self.capacity
+        self.owner = [0] * self.capacity
+        self.entry_time = [0] * self.capacity
+        self.otype = [0] * self.capacity
+        self.tif = [0] * self.capacity
+        self.nxt = [_NIL] * self.capacity
+        self.prv = [_NIL] * self.capacity
         # Free slots, popped from the end (LIFO keeps the slab dense).
-        self._free = np.arange(self.capacity - 1, -1, -1, dtype=np.int32)
-        self._n_free = self.capacity
+        self._free = list(range(self.capacity - 1, -1, -1))
         self.in_use = 0
         self.high_water = 0
 
     def _grow(self) -> None:
         old = self.capacity
         new = old * 2
-        for field in (
-            "order_id",
-            "price",
-            "qty",
-            "qty_orig",
-            "side",
-            "owner",
-            "entry_time",
-            "otype",
-            "tif",
+        grow = new - old
+        for column in (
+            self.order_id,
+            self.price,
+            self.qty,
+            self.qty_orig,
+            self.side,
+            self.owner,
+            self.entry_time,
+            self.otype,
+            self.tif,
         ):
-            arr = getattr(self, field)
-            grown = np.zeros(new, dtype=arr.dtype)
-            grown[:old] = arr
-            setattr(self, field, grown)
-        for field in ("nxt", "prv"):
-            arr = getattr(self, field)
-            grown = np.full(new, _NIL, dtype=np.int32)
-            grown[:old] = arr
-            setattr(self, field, grown)
-        free = np.empty(new, dtype=np.int32)
-        free[: self._n_free] = self._free[: self._n_free]
-        free[self._n_free : self._n_free + (new - old)] = np.arange(
-            new - 1, old - 1, -1, dtype=np.int32
-        )
-        self._free = free
-        self._n_free += new - old
+            column.extend([0] * grow)
+        self.nxt.extend([_NIL] * grow)
+        self.prv.extend([_NIL] * grow)
+        # Newly minted slots stack on top so the next pops come lowest
+        # slot first, matching the initial LIFO ordering.
+        self._free.extend(range(new - 1, old - 1, -1))
         self.capacity = new
 
     @hot_path
     def alloc(self) -> int:
         """Pop a free slot index (grows the slab when exhausted)."""
-        if self._n_free == 0:
+        if not self._free:
             self._grow()
-        self._n_free -= 1
-        slot = int(self._free[self._n_free])
+        slot = self._free.pop()
         self.in_use += 1
         if self.in_use > self.high_water:
             self.high_water = self.in_use
@@ -171,100 +175,86 @@ class OrderSlab:
     @hot_path
     def release(self, slot: int) -> None:
         """Return ``slot`` to the free list."""
-        self._free[self._n_free] = slot
-        self._n_free += 1
+        self._free.append(slot)
         self.in_use -= 1
 
 
 class ArraySide:
-    """One side of the array book: packed sorted price-level arrays.
+    """One side of the array book: packed sorted price-level columns.
 
-    Levels are kept ascending by price in ``prices[:n]`` with parallel
+    Levels are kept ascending by price in ``prices`` with parallel
     ``volume``/``head``/``tail``/``count`` columns; inserts and removals
-    shift the packed prefix (numpy memmove — cheap at HFT book depths).
-    Best price is ``prices[n-1]`` for bids and ``prices[0]`` for asks.
+    shift the packed list (cheap at HFT book depths).  Best price is
+    ``prices[-1]`` for bids and ``prices[0]`` for asks.  Lookups are
+    ``bisect`` over the plain int list — no scalar ``searchsorted``.
     """
 
-    __slots__ = ("side", "slab", "prices", "volume", "head", "tail", "count", "n")
+    __slots__ = ("side", "slab", "prices", "volume", "head", "tail", "count")
 
-    def __init__(self, side: Side, slab: OrderSlab, capacity: int = 64) -> None:
+    def __init__(self, side: Side, slab: OrderSlab) -> None:
         self.side = side
         self.slab = slab
-        self.prices = np.zeros(capacity, dtype=np.int64)
-        self.volume = np.zeros(capacity, dtype=np.int64)
-        self.head = np.full(capacity, _NIL, dtype=np.int32)
-        self.tail = np.full(capacity, _NIL, dtype=np.int32)
-        self.count = np.zeros(capacity, dtype=np.int32)
-        self.n = 0
+        self.prices: list[int] = []
+        self.volume: list[int] = []
+        self.head: list[int] = []
+        self.tail: list[int] = []
+        self.count: list[int] = []
 
     def __len__(self) -> int:
-        return self.n
+        return len(self.prices)
+
+    @property
+    def n(self) -> int:
+        """Number of live price levels (packed length)."""
+        return len(self.prices)
 
     @property
     def is_empty(self) -> bool:
         """True when the whole side is empty."""
-        return self.n == 0
-
-    def _grow(self) -> None:
-        for field in ("prices", "volume", "head", "tail", "count"):
-            arr = getattr(self, field)
-            grown = np.zeros(arr.size * 2, dtype=arr.dtype)
-            if arr.dtype == np.int32 and field in ("head", "tail"):
-                grown[:] = _NIL
-            grown[: arr.size] = arr
-            setattr(self, field, grown)
+        return not self.prices
 
     def find(self, price: int) -> int:
         """The packed index of the level at ``price``, or -1."""
-        idx = int(np.searchsorted(self.prices[: self.n], price))
-        if idx < self.n and self.prices[idx] == price:
+        prices = self.prices
+        idx = bisect_left(prices, price)
+        if idx < len(prices) and prices[idx] == price:
             return idx
         return _NIL
 
     def get_or_create(self, price: int) -> int:
         """The packed index of the level at ``price``, inserting it sorted."""
-        idx = int(np.searchsorted(self.prices[: self.n], price))
-        if idx < self.n and self.prices[idx] == price:
+        prices = self.prices
+        idx = bisect_left(prices, price)
+        if idx < len(prices) and prices[idx] == price:
             return idx
-        if self.n == self.prices.size:
-            self._grow()
-        n = self.n
-        if idx < n:  # shift the packed suffix right by one
-            self.prices[idx + 1 : n + 1] = self.prices[idx:n]
-            self.volume[idx + 1 : n + 1] = self.volume[idx:n]
-            self.head[idx + 1 : n + 1] = self.head[idx:n]
-            self.tail[idx + 1 : n + 1] = self.tail[idx:n]
-            self.count[idx + 1 : n + 1] = self.count[idx:n]
-        self.prices[idx] = price
-        self.volume[idx] = 0
-        self.head[idx] = _NIL
-        self.tail[idx] = _NIL
-        self.count[idx] = 0
-        self.n = n + 1
+        prices.insert(idx, price)
+        self.volume.insert(idx, 0)
+        self.head.insert(idx, _NIL)
+        self.tail.insert(idx, _NIL)
+        self.count.insert(idx, 0)
         return idx
 
     def remove_level(self, idx: int) -> None:
         """Drop the (empty) level at packed index ``idx``."""
-        n = self.n
-        if idx < n - 1:  # shift the packed suffix left by one
-            self.prices[idx : n - 1] = self.prices[idx + 1 : n]
-            self.volume[idx : n - 1] = self.volume[idx + 1 : n]
-            self.head[idx : n - 1] = self.head[idx + 1 : n]
-            self.tail[idx : n - 1] = self.tail[idx + 1 : n]
-            self.count[idx : n - 1] = self.count[idx + 1 : n]
-        self.n = n - 1
+        del self.prices[idx]
+        del self.volume[idx]
+        del self.head[idx]
+        del self.tail[idx]
+        del self.count[idx]
 
     def best_index(self) -> int:
         """Packed index of the best level, or -1 when empty."""
-        if self.n == 0:
+        n = len(self.prices)
+        if n == 0:
             return _NIL
-        return self.n - 1 if self.side is Side.BID else 0
+        return n - 1 if self.side is Side.BID else 0
 
     def best_price(self) -> int | None:
         """Highest bid / lowest ask, or None when empty."""
-        if self.n == 0:
+        prices = self.prices
+        if not prices:
             return None
-        return int(self.prices[self.n - 1 if self.side is Side.BID else 0])
+        return prices[-1] if self.side is Side.BID else prices[0]
 
     def append_order(self, idx: int, slot: int) -> None:
         """Queue slab row ``slot`` at the back of level ``idx`` (FIFO)."""
@@ -283,7 +273,8 @@ class ArraySide:
     def unlink_order(self, idx: int, slot: int) -> None:
         """Remove slab row ``slot`` from level ``idx``'s FIFO queue."""
         slab = self.slab
-        prv, nxt = slab.prv[slot], slab.nxt[slot]
+        prv = slab.prv[slot]
+        nxt = slab.nxt[slot]
         if prv == _NIL:
             self.head[idx] = nxt
         else:
@@ -308,57 +299,56 @@ class ArraySide:
     def fillable_volume(self, price: int | None, cap: int) -> int:
         """Total resting volume at prices an opposite-side order limited
         to ``price`` could cross (None = market order, crosses all),
-        summed with one vectorized slice; ``cap`` bounds the answer the
-        way the reference's early exit does (the comparison only ever
-        asks "is it >= remaining")."""
-        n = self.n
+        summed over the crossed slice; ``cap`` bounds the answer the way
+        the reference's early exit does (the comparison only ever asks
+        "is it >= remaining")."""
+        prices = self.prices
+        n = len(prices)
         if n == 0:
             return 0
         if price is None:
             k_lo, k_hi = 0, n
         elif self.side is Side.BID:
             # Crossed by asks at or below the incoming limit.
-            k_lo = int(np.searchsorted(self.prices[:n], price))
+            k_lo = bisect_left(prices, price)
             k_hi = n
         else:
             k_lo = 0
-            k_hi = int(np.searchsorted(self.prices[:n], price, side="right"))
+            k_hi = bisect_left(prices, price + 1)
         if k_lo >= k_hi:
             return 0
-        total = int(self.volume[k_lo:k_hi].sum())
+        total = sum(self.volume[k_lo:k_hi])
         return total if total < cap else cap
 
     def top(self, depth: int) -> list[tuple[int, int]]:
         """Up to ``depth`` (price, volume) pairs, best first, as ints."""
-        n = self.n
+        prices = self.prices
+        n = len(prices)
         out: list[tuple[int, int]] = []
         if n == 0:
             return out
         if self.side is Side.BID:
-            lo = max(0, n - depth)
-            prices = self.prices[lo:n][::-1]
-            volumes = self.volume[lo:n][::-1]
+            lo = n - depth if n > depth else 0
+            volume = self.volume
+            for k in range(n - 1, lo - 1, -1):
+                out.append((prices[k], volume[k]))
         else:
-            hi = min(depth, n)
-            prices = self.prices[:hi]
-            volumes = self.volume[:hi]
-        for price, volume in zip(prices.tolist(), volumes.tolist()):
-            out.append((price, volume))
+            hi = depth if depth < n else n
+            volume = self.volume
+            for k in range(hi):
+                out.append((prices[k], volume[k]))
         return out
 
     def total_volume(self) -> int:
-        """Total resting volume across all levels (one vectorized sum)."""
-        return int(self.volume[: self.n].sum())
+        """Total resting volume across all levels."""
+        return sum(self.volume)
 
     def iter_best_first(self) -> Iterator["LevelView"]:
         """Iterate :class:`LevelView` triples from best to worst price."""
-        indices = range(self.n - 1, -1, -1) if self.side is Side.BID else range(self.n)
+        n = len(self.prices)
+        indices = range(n - 1, -1, -1) if self.side is Side.BID else range(n)
         for idx in indices:
-            yield LevelView(
-                int(self.prices[idx]),
-                int(self.volume[idx]),
-                int(self.count[idx]),
-            )
+            yield LevelView(self.prices[idx], self.volume[idx], self.count[idx])
 
 
 class ArrayBook:
@@ -413,15 +403,15 @@ class ArrayBook:
         """Materialise the slab row at ``slot`` as an :class:`Order`."""
         slab = self.slab
         return Order(
-            side=Side(int(slab.side[slot])),
-            price=int(slab.price[slot]),
-            quantity=int(slab.qty_orig[slot]),
-            order_id=int(slab.order_id[slot]),
-            order_type=OrderType(int(slab.otype[slot])),
-            tif=TimeInForce(int(slab.tif[slot])),
-            owner=self.owners.name(int(slab.owner[slot])),
-            entry_time=int(slab.entry_time[slot]),
-            remaining=int(slab.qty[slot]),
+            side=_SIDES[slab.side[slot]],
+            price=slab.price[slot],
+            quantity=slab.qty_orig[slot],
+            order_id=slab.order_id[slot],
+            order_type=_OTYPES[slab.otype[slot]],
+            tif=_TIFS[slab.tif[slot]],
+            owner=self.owners.name(slab.owner[slot]),
+            entry_time=slab.entry_time[slot],
+            remaining=slab.qty[slot],
         )
 
     def insert(self, order: Order) -> int:
@@ -451,7 +441,7 @@ class ArrayBook:
 
     def drop_slot(self, slot: int) -> None:
         """Release an already-unlinked slab row (a fully filled maker)."""
-        del self._id_slot[int(self.slab.order_id[slot])]
+        del self._id_slot[self.slab.order_id[slot]]
         self.slab.release(slot)
 
     def remove(self, order_id: int) -> int:
@@ -462,8 +452,8 @@ class ArrayBook:
         """
         slot = self.slot_of(order_id)
         slab = self.slab
-        side = self.side(Side(int(slab.side[slot])))
-        idx = side.find(int(slab.price[slot]))
+        side = self.bids if slab.side[slot] == 0 else self.asks
+        idx = side.find(slab.price[slot])
         side.unlink_order(idx, slot)
         if side.count[idx] == 0:
             side.remove_level(idx)

@@ -10,16 +10,23 @@ and the generator byte-equality gate in CI hold the two engines to
 exact parity, following the discipline of ``tests/test_sweep_parity.py``
 and ``tests/test_loop_parity.py``.
 
-Two execution surfaces:
+Three execution surfaces:
 
 - the :class:`MatchingEngine`-shaped per-operation API
   (``submit``/``cancel``/``replace`` returning :class:`MatchResult`),
   for drop-in use by the gateway and market agents;
-- :meth:`ArrayMatchingEngine.replay_ops`, the batched kernel: a whole
-  struct-of-arrays operation stream replayed with price–time priority
-  over array slices, no per-op ``Order``/``Fill``/event objects —
-  sequence numbers advance exactly as the per-op path would, and the
-  returned :class:`ReplayStats` checksums let tests prove it.
+- :class:`ReplaySession`, the checked-out batch kernel: the slab
+  columns and price-level lists are copied out once, operations replay
+  as pure integer arithmetic with price–time priority (no per-op
+  ``Order``/``Fill``/``MatchResult``/event objects), and
+  :meth:`ReplaySession.commit` swaps the buffers back into the book in
+  O(1).  Sequence numbers advance exactly as the per-op path would, so
+  a per-op replay of the same stream lands on the same sequence — this
+  is what lets the market generator's fast path produce byte-identical
+  tapes;
+- :meth:`ArrayMatchingEngine.replay_ops`, a thin driver that replays a
+  whole :class:`OpBatch` through one :class:`ReplaySession` and returns
+  :class:`ReplayStats` checksums.
 
 Both engines share one FOK semantics fix: time-in-force FOK is enforced
 for MARKET orders too (historically only LIMIT+FOK was checked, so a
@@ -31,11 +38,11 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
+from typing import NoReturn
 
 import numpy as np
 
 from repro.errors import MatchingError, OrderBookError
-from repro.hotpath import hot_path
 from repro.lob.array_book import ArrayBook, ArraySide
 from repro.lob.events import BookUpdate, TradeTick, UpdateAction
 from repro.lob.matching import MatchResult
@@ -48,6 +55,7 @@ __all__ = [
     "OP_SUBMIT",
     "ArrayMatchingEngine",
     "OpBatch",
+    "ReplaySession",
     "ReplayStats",
 ]
 
@@ -57,6 +65,22 @@ OP_CANCEL = 1
 OP_REPLACE = 2
 
 _NIL = -1
+
+# Plain-int op encodings (== the enum values; pinned by tests).
+_LIMIT = int(OrderType.LIMIT)
+_MARKET = int(OrderType.MARKET)
+_DAY = int(TimeInForce.DAY)
+_FOK = int(TimeInForce.FOK)
+
+
+def _raise_missing(oid: int, symbol: str) -> NoReturn:
+    """Raise the per-op API's unknown-order error (kept out of hot code)."""
+    raise OrderBookError(f"order {oid} not in book {symbol}")
+
+
+def _raise_no_change(oid: int) -> NoReturn:
+    """Raise the per-op API's no-op replace error (kept out of hot code)."""
+    raise MatchingError(f"replace of order {oid} changes nothing")
 
 
 @dataclass(frozen=True)
@@ -126,6 +150,499 @@ class OpBatch:
         )
 
 
+class ReplaySession:
+    """A checked-out, mutation-ready copy of one symbol's array book.
+
+    Construction copies the slab columns, free list, id map and both
+    sides' price-level lists into flat session-private buffers; the
+    integer ops (:meth:`submit` / :meth:`cancel` / :meth:`replace`)
+    replay against those buffers as pure int arithmetic — no ``Order``
+    or event objects, no numpy scalar boxing; :meth:`commit` swaps the
+    buffers into the book and flushes metrics in O(1).  Until commit the
+    live book is untouched, so a raising sequence of ops is atomic: drop
+    the session (don't commit) and the book still holds its last
+    committed state — the same contract ``replay_ops`` has always had.
+
+    Sequence-number accounting matches the per-op engine tick for tick
+    (one per trade print, one per book update), which is what lets the
+    market generator's fast path emit byte-identical snapshots.  Per-op
+    results surface allocation-free through ``op_filled`` / ``op_rested``
+    (last submit) and the sticky ``trade_price`` / ``trade_qty`` pair
+    (last matched level), with running totals in ``traded_quantity``,
+    ``notional``, ``n_fills`` and friends.
+
+    One deliberate nuance: :meth:`replace` keeps the resting row's
+    owner (like the per-op API) rather than stamping the batch owner.
+    Owner ids are interned into the live :class:`OwnerTable` as ops
+    arrive — the table is an append-only cache, so names interned by an
+    aborted session are harmless.
+    """
+
+    __slots__ = (
+        "engine",
+        "book",
+        "symbol",
+        "cap",
+        "s_oid",
+        "s_price",
+        "s_qty",
+        "s_qty_orig",
+        "s_side",
+        "s_owner",
+        "s_entry",
+        "s_otype",
+        "s_tif",
+        "s_nxt",
+        "s_prv",
+        "free",
+        "in_use",
+        "high_water",
+        "id_slot",
+        "bid_price",
+        "bid_vol",
+        "bid_head",
+        "bid_tail",
+        "bid_cnt",
+        "ask_price",
+        "ask_vol",
+        "ask_head",
+        "ask_tail",
+        "ask_cnt",
+        "sequence",
+        "levels_high_water",
+        "n_orders",
+        "n_cancels",
+        "n_replaces",
+        "n_fills",
+        "traded_quantity",
+        "notional",
+        "rejected",
+        "op_filled",
+        "op_rested",
+        "trade_price",
+        "trade_qty",
+    )
+
+    def __init__(self, engine: ArrayMatchingEngine, symbol: str) -> None:
+        self.engine = engine
+        self.symbol = symbol
+        self.book = engine.book(symbol)
+        self.refresh()
+
+    def refresh(self) -> None:
+        """(Re-)copy the live book into the session buffers.
+
+        Called by ``__init__``; call again after :meth:`commit` to keep
+        using the same session for another chunk of operations (commit
+        hands the buffers over to the book, so they must not be mutated
+        afterwards without a fresh checkout).
+        """
+        book = self.book
+        slab = book.slab
+        self.cap = slab.capacity
+        self.s_oid = slab.order_id[:]
+        self.s_price = slab.price[:]
+        self.s_qty = slab.qty[:]
+        self.s_qty_orig = slab.qty_orig[:]
+        self.s_side = slab.side[:]
+        self.s_owner = slab.owner[:]
+        self.s_entry = slab.entry_time[:]
+        self.s_otype = slab.otype[:]
+        self.s_tif = slab.tif[:]
+        self.s_nxt = slab.nxt[:]
+        self.s_prv = slab.prv[:]
+        self.free = slab._free[:]
+        self.in_use = slab.in_use
+        self.high_water = slab.high_water
+        self.id_slot = dict(book._id_slot)
+        bids, asks = book.bids, book.asks
+        self.bid_price = bids.prices[:]
+        self.bid_vol = bids.volume[:]
+        self.bid_head = bids.head[:]
+        self.bid_tail = bids.tail[:]
+        self.bid_cnt = bids.count[:]
+        self.ask_price = asks.prices[:]
+        self.ask_vol = asks.volume[:]
+        self.ask_head = asks.head[:]
+        self.ask_tail = asks.tail[:]
+        self.ask_cnt = asks.count[:]
+        self.sequence = self.engine._sequence
+        self.levels_high_water = len(self.bid_price) + len(self.ask_price)
+        self.n_orders = 0
+        self.n_cancels = 0
+        self.n_replaces = 0
+        self.n_fills = 0
+        self.traded_quantity = 0
+        self.notional = 0
+        self.rejected = 0
+        self.op_filled = 0
+        self.op_rested = False
+        self.trade_price = 0
+        self.trade_qty = 0
+
+    # -- read surface (session view, pre-commit) -----------------------------
+
+    def intern(self, owner: str) -> int:
+        """Dense owner id for ``owner`` (interned in the live table)."""
+        return self.book.owners.intern(owner)
+
+    def contains(self, order_id: int) -> bool:
+        """True when ``order_id`` rests in the session's book view."""
+        return order_id in self.id_slot
+
+    def best_bid(self) -> int | None:
+        """Best bid price in the session view, or None."""
+        bid_price = self.bid_price
+        return bid_price[-1] if bid_price else None
+
+    def best_ask(self) -> int | None:
+        """Best ask price in the session view, or None."""
+        ask_price = self.ask_price
+        return ask_price[0] if ask_price else None
+
+    def top_bids(self, depth: int) -> tuple[tuple[int, int], ...]:
+        """Up to ``depth`` bid (price, volume) pairs, best first."""
+        prices = self.bid_price
+        volume = self.bid_vol
+        n = len(prices)
+        lo = n - depth if n > depth else 0
+        out = []
+        for k in range(n - 1, lo - 1, -1):
+            out.append((prices[k], volume[k]))
+        return tuple(out)
+
+    def top_asks(self, depth: int) -> tuple[tuple[int, int], ...]:
+        """Up to ``depth`` ask (price, volume) pairs, best first."""
+        prices = self.ask_price
+        volume = self.ask_vol
+        n = len(prices)
+        hi = depth if depth < n else n
+        out = []
+        for k in range(hi):
+            out.append((prices[k], volume[k]))
+        return tuple(out)
+
+    # -- integer operations (hot; RL004 via the hotpath MANIFEST) ------------
+
+    def submit(
+        self,
+        side: int,
+        otype: int,
+        tif: int,
+        price: int,
+        qty: int,
+        oid: int,
+        timestamp: int,
+        owner_id: int,
+    ) -> None:
+        """Match-then-rest one order, all plain-int, no result objects.
+
+        Mirrors the per-op ``submit`` exactly: FOK full-fill check, match
+        while crossing (sequence +2 per matched level: trade print +
+        level update), rest a DAY LIMIT remainder (+1).  Outcome lands
+        in ``op_filled`` / ``op_rested`` / ``trade_price`` / ``trade_qty``.
+        """
+        self.op_filled = 0
+        self.op_rested = False
+        self.n_orders += 1
+        remaining = qty
+        s_qty = self.s_qty
+        s_nxt = self.s_nxt
+        s_prv = self.s_prv
+        s_oid = self.s_oid
+        free = self.free
+        id_slot = self.id_slot
+        if side == 0:  # incoming bid matches asks (best = index 0)
+            opp_price = self.ask_price
+            opp_vol = self.ask_vol
+            opp_head = self.ask_head
+            opp_tail = self.ask_tail
+            opp_cnt = self.ask_cnt
+        else:  # incoming ask matches bids (best = last index)
+            opp_price = self.bid_price
+            opp_vol = self.bid_vol
+            opp_head = self.bid_head
+            opp_tail = self.bid_tail
+            opp_cnt = self.bid_cnt
+
+        if tif == _FOK:
+            # Fillable-volume walk, best level first, early exit.
+            available = 0
+            if side == 0:
+                for k in range(len(opp_price)):
+                    if otype != _MARKET and opp_price[k] > price:
+                        break
+                    available += opp_vol[k]
+                    if available >= remaining:
+                        break
+            else:
+                for k in range(len(opp_price) - 1, -1, -1):
+                    if otype != _MARKET and opp_price[k] < price:
+                        break
+                    available += opp_vol[k]
+                    if available >= remaining:
+                        break
+            if available < remaining:
+                self.rejected += 1
+                return
+
+        # Match while the order crosses the opposite best level.
+        while remaining > 0 and opp_price:
+            best = 0 if side == 0 else len(opp_price) - 1
+            best_price = opp_price[best]
+            if otype != _MARKET:
+                if side == 0:
+                    if price < best_price:
+                        break
+                elif price > best_price:
+                    break
+            level_volume = opp_vol[best]
+            take = remaining if remaining < level_volume else level_volume
+            self.traded_quantity += take
+            self.notional += take * best_price
+            remaining -= take
+            self.sequence += 2  # trade print + level update
+            self.trade_price = best_price
+            self.trade_qty = take
+            if take == level_volume:
+                # Whole level consumed: release every maker slot.
+                slot = opp_head[best]
+                while slot != _NIL:
+                    del id_slot[s_oid[slot]]
+                    free.append(slot)
+                    self.in_use -= 1
+                    self.n_fills += 1
+                    slot = s_nxt[slot]
+                del opp_price[best]
+                del opp_vol[best]
+                del opp_head[best]
+                del opp_tail[best]
+                del opp_cnt[best]
+            else:
+                # Partial level: pop exhausted makers off the FIFO
+                # head, reduce the last one in place.
+                opp_vol[best] = level_volume - take
+                left = take
+                while left > 0:
+                    slot = opp_head[best]
+                    maker_remaining = s_qty[slot]
+                    self.n_fills += 1
+                    if maker_remaining <= left:
+                        left -= maker_remaining
+                        nxt = s_nxt[slot]
+                        opp_head[best] = nxt
+                        if nxt == _NIL:
+                            opp_tail[best] = _NIL
+                        else:
+                            s_prv[nxt] = _NIL
+                        opp_cnt[best] -= 1
+                        del id_slot[s_oid[slot]]
+                        free.append(slot)
+                        self.in_use -= 1
+                    else:
+                        s_qty[slot] = maker_remaining - left
+                        left = 0
+
+        self.op_filled = qty - remaining
+        if remaining > 0 and otype == _LIMIT and tif == _DAY:
+            # Rest the remainder (NEW/CHANGE book update = one tick).
+            if not free:
+                self._grow_slab()
+            slot = free.pop()
+            self.in_use += 1
+            if self.in_use > self.high_water:
+                self.high_water = self.in_use
+            s_oid[slot] = oid
+            self.s_price[slot] = price
+            s_qty[slot] = remaining
+            self.s_qty_orig[slot] = qty
+            self.s_side[slot] = side
+            self.s_owner[slot] = owner_id
+            self.s_entry[slot] = timestamp
+            self.s_otype[slot] = otype
+            self.s_tif[slot] = tif
+            if side == 0:
+                lp = self.bid_price
+                lv = self.bid_vol
+                lh = self.bid_head
+                lt = self.bid_tail
+                lc = self.bid_cnt
+            else:
+                lp = self.ask_price
+                lv = self.ask_vol
+                lh = self.ask_head
+                lt = self.ask_tail
+                lc = self.ask_cnt
+            idx = bisect_left(lp, price)
+            if idx < len(lp) and lp[idx] == price:
+                tail = lt[idx]
+                s_prv[slot] = tail
+                s_nxt[slot] = _NIL
+                if tail == _NIL:
+                    lh[idx] = slot
+                else:
+                    s_nxt[tail] = slot
+                lt[idx] = slot
+                lc[idx] += 1
+                lv[idx] += remaining
+            else:
+                lp.insert(idx, price)
+                lv.insert(idx, remaining)
+                lh.insert(idx, slot)
+                lt.insert(idx, slot)
+                lc.insert(idx, 1)
+                s_prv[slot] = _NIL
+                s_nxt[slot] = _NIL
+                levels = len(self.bid_price) + len(self.ask_price)
+                if levels > self.levels_high_water:
+                    self.levels_high_water = levels
+            id_slot[oid] = slot
+            self.sequence += 1
+            self.op_rested = True
+
+    def cancel(self, oid: int) -> None:
+        """Unlink a resting order; raises like the per-op API on unknowns."""
+        slot = self.id_slot.get(oid)
+        if slot is None:
+            _raise_missing(oid, self.symbol)
+        self._unlink(slot)
+        del self.id_slot[oid]
+        self.free.append(slot)
+        self.in_use -= 1
+        self.sequence += 1  # the cancel-side level update
+        self.n_cancels += 1
+
+    def replace(self, oid: int, new_price: int, new_qty: int, timestamp: int) -> None:
+        """Cancel-and-replace, keeping the resting owner; <=0 keeps old.
+
+        Resubmits through :meth:`submit`, so an FOK original re-runs the
+        full-fill check at its new price/quantity (per-op semantics).
+        """
+        slot = self.id_slot.get(oid)
+        if slot is None:
+            _raise_missing(oid, self.symbol)
+        if new_price <= 0 and new_qty <= 0:
+            _raise_no_change(oid)
+        side = self.s_side[slot]
+        otype = self.s_otype[slot]
+        tif = self.s_tif[slot]
+        owner_id = self.s_owner[slot]
+        price = new_price if new_price > 0 else self.s_price[slot]
+        qty = new_qty if new_qty > 0 else self.s_qty[slot]
+        self._unlink(slot)
+        del self.id_slot[oid]
+        self.free.append(slot)
+        self.in_use -= 1
+        self.sequence += 1  # the cancel-side level update
+        self.n_replaces += 1
+        self.submit(side, otype, tif, price, qty, oid, timestamp, owner_id)
+
+    def _unlink(self, slot: int) -> None:
+        """Drop slab row ``slot`` from its level (and the level if empty)."""
+        s_price = self.s_price
+        if self.s_side[slot] == 0:
+            lp = self.bid_price
+            lv = self.bid_vol
+            lh = self.bid_head
+            lt = self.bid_tail
+            lc = self.bid_cnt
+        else:
+            lp = self.ask_price
+            lv = self.ask_vol
+            lh = self.ask_head
+            lt = self.ask_tail
+            lc = self.ask_cnt
+        idx = bisect_left(lp, s_price[slot])
+        prv = self.s_prv[slot]
+        nxt = self.s_nxt[slot]
+        if prv == _NIL:
+            lh[idx] = nxt
+        else:
+            self.s_nxt[prv] = nxt
+        if nxt == _NIL:
+            lt[idx] = prv
+        else:
+            self.s_prv[nxt] = prv
+        lc[idx] -= 1
+        lv[idx] -= self.s_qty[slot]
+        if lc[idx] == 0:
+            del lp[idx]
+            del lv[idx]
+            del lh[idx]
+            del lt[idx]
+            del lc[idx]
+
+    def _grow_slab(self) -> None:
+        """Double the session's slab buffers (same slot order as the slab)."""
+        cap = self.cap
+        new_cap = cap * 2
+        grow = new_cap - cap
+        self.s_oid.extend([0] * grow)
+        self.s_price.extend([0] * grow)
+        self.s_qty.extend([0] * grow)
+        self.s_qty_orig.extend([0] * grow)
+        self.s_side.extend([0] * grow)
+        self.s_owner.extend([0] * grow)
+        self.s_entry.extend([0] * grow)
+        self.s_otype.extend([0] * grow)
+        self.s_tif.extend([0] * grow)
+        self.s_nxt.extend([_NIL] * grow)
+        self.s_prv.extend([_NIL] * grow)
+        self.free.extend(range(new_cap - 1, cap - 1, -1))
+        self.cap = new_cap
+
+    # -- commit --------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Swap the session buffers into the live book, flush metrics.
+
+        O(1): the buffers become the book's columns (no copies).  The
+        gauges replay the per-op observation order — high-water first,
+        then the final value — so a committed session leaves the metric
+        registry byte-identical to a per-op replay of the same stream.
+        Call :meth:`refresh` before reusing the session afterwards.
+        """
+        book = self.book
+        slab = book.slab
+        engine = self.engine
+        slab.capacity = self.cap
+        slab.order_id = self.s_oid
+        slab.price = self.s_price
+        slab.qty = self.s_qty
+        slab.qty_orig = self.s_qty_orig
+        slab.side = self.s_side
+        slab.owner = self.s_owner
+        slab.entry_time = self.s_entry
+        slab.otype = self.s_otype
+        slab.tif = self.s_tif
+        slab.nxt = self.s_nxt
+        slab.prv = self.s_prv
+        slab._free = self.free
+        slab.in_use = self.in_use
+        slab.high_water = self.high_water
+        book._id_slot = self.id_slot
+        bids, asks = book.bids, book.asks
+        bids.prices = self.bid_price
+        bids.volume = self.bid_vol
+        bids.head = self.bid_head
+        bids.tail = self.bid_tail
+        bids.count = self.bid_cnt
+        asks.prices = self.ask_price
+        asks.volume = self.ask_vol
+        asks.head = self.ask_head
+        asks.tail = self.ask_tail
+        asks.count = self.ask_cnt
+        engine._sequence = self.sequence
+        engine._m_orders.inc(self.n_orders)
+        engine._m_cancels.inc(self.n_cancels)
+        engine._m_replaces.inc(self.n_replaces)
+        engine._m_fills.inc(self.n_fills)
+        engine._m_levels.set(self.levels_high_water)
+        engine._m_levels.set(len(self.bid_price) + len(self.ask_price))
+        engine._m_occupancy.set(self.high_water)
+        engine._m_occupancy.set(self.in_use)
+
+
 class ArrayMatchingEngine:
     """Price–time-priority matching over struct-of-arrays books.
 
@@ -165,10 +682,9 @@ class ArrayMatchingEngine:
         self._sequence += 1
         return self._sequence
 
-    @hot_path
     def _record_book(self, book: ArrayBook) -> None:
         """Update the book-shape high-water gauges (allocation-free)."""
-        self._m_levels.set(book.bids.n + book.asks.n)
+        self._m_levels.set(len(book.bids.prices) + len(book.asks.prices))
         self._m_occupancy.set(book.slab.in_use)
 
     # -- public operations ----------------------------------------------------
@@ -200,7 +716,7 @@ class ArrayMatchingEngine:
                 idx = side.find(order.price)
                 action = (
                     UpdateAction.NEW
-                    if int(side.count[idx]) == 1
+                    if side.count[idx] == 1
                     else UpdateAction.CHANGE
                 )
                 result.events.append(
@@ -210,7 +726,7 @@ class ArrayMatchingEngine:
                         action=action,
                         side=order.side,
                         price=order.price,
-                        volume=int(side.volume[idx]),
+                        volume=side.volume[idx],
                         sequence=self._next_seq(),
                     )
                 )
@@ -292,9 +808,7 @@ class ArrayMatchingEngine:
         opposite = book.side(order.side.opposite)
         while order.remaining > 0:
             idx = opposite.best_index()
-            if idx == _NIL or not self._price_crosses(
-                order, int(opposite.prices[idx])
-            ):
+            if idx == _NIL or not self._price_crosses(order, opposite.prices[idx]):
                 break
             self._match_level(book, opposite, idx, order, timestamp, result)
 
@@ -309,11 +823,11 @@ class ArrayMatchingEngine:
     ) -> None:
         """Fill ``order`` against level ``idx`` until one side is exhausted."""
         slab = book.slab
-        price = int(opposite.prices[idx])
+        price = opposite.prices[idx]
         traded = 0
         while order.remaining > 0 and opposite.count[idx] > 0:
-            slot = int(opposite.head[idx])
-            maker_remaining = int(slab.qty[slot])
+            slot = opposite.head[idx]
+            maker_remaining = slab.qty[slot]
             quantity = (
                 order.remaining
                 if order.remaining < maker_remaining
@@ -327,9 +841,9 @@ class ArrayMatchingEngine:
                 Fill(
                     price=price,
                     quantity=quantity,
-                    maker_id=int(slab.order_id[slot]),
+                    maker_id=slab.order_id[slot],
                     taker_id=order.order_id,
-                    maker_owner=book.owners.name(int(slab.owner[slot])),
+                    maker_owner=book.owners.name(slab.owner[slot]),
                     taker_owner=order.owner,
                     aggressor_side=order.side,
                     timestamp=timestamp,
@@ -369,7 +883,7 @@ class ArrayMatchingEngine:
                     action=UpdateAction.CHANGE,
                     side=order.side.opposite,
                     price=price,
-                    volume=int(opposite.volume[idx]),
+                    volume=opposite.volume[idx],
                     sequence=self._next_seq(),
                 )
             )
@@ -396,7 +910,7 @@ class ArrayMatchingEngine:
             action=UpdateAction.CHANGE,
             side=side,
             price=price,
-            volume=int(book_side.volume[idx]),
+            volume=book_side.volume[idx],
             sequence=self._next_seq(),
         )
 
@@ -409,30 +923,26 @@ class ArrayMatchingEngine:
         timestamp: int = 0,
         owner: str = "replay",
     ) -> ReplayStats:
-        """Replay a whole operation stream through ``symbol``'s book.
+        """Replay a whole operation stream through one :class:`ReplaySession`.
 
-        The batched kernel: the slab columns and price-level arrays are
-        checked out into flat buffers once per batch, the stream replays
-        with price-time priority as pure integer arithmetic on those
-        columns (no per-op ``Order``/``Fill``/``MatchResult``/event
-        objects and no per-op numpy scalar boxing), and the result
-        commits back to the struct-of-arrays book once at the end.  The
-        engine sequence number advances exactly as the per-op path would
-        (one tick per trade print, one per book update), so a per-op
-        replay of the same stream lands on the same ``final_sequence``;
-        the returned :class:`ReplayStats` checksums (fills, traded
-        quantity, price-weighted notional) let the differential suite
-        prove the paths equivalent.
+        The book state is checked out into flat Python buffers once, the
+        stream replays with price-time priority as pure integer
+        arithmetic (no per-op ``Order``/``Fill``/``MatchResult``/event
+        objects), and the result commits back to the struct-of-arrays
+        book once at the end.  The engine sequence number advances
+        exactly as the per-op path would (one tick per trade print, one
+        per book update), so a per-op replay of the same stream lands on
+        the same ``final_sequence``; the returned :class:`ReplayStats`
+        checksums (fills, traded quantity, price-weighted notional) let
+        the differential suite prove the paths equivalent.
 
         Operations that would raise in the per-op API (cancel of an
         unknown id, no-op replace) raise here too — atomically: a
-        raising batch leaves the book untouched (the checked-out state
-        is simply discarded).
+        raising batch leaves the book untouched (the checked-out session
+        is simply discarded, never committed).
         """
-        book = self.book(symbol)
-        slab = book.slab
-        owner_id = book.owners.intern(owner)
-
+        session = ReplaySession(self, symbol)
+        owner_id = session.intern(owner)
         kinds = ops.kind.tolist()
         in_sides = ops.side.tolist()
         in_otypes = ops.otype.tolist()
@@ -440,301 +950,32 @@ class ArrayMatchingEngine:
         in_prices = ops.price.tolist()
         in_qtys = ops.qty.tolist()
         in_oids = ops.order_id.tolist()
-
-        # -- checkout: flat Python buffers of the whole book state ----------
-        cap = slab.capacity
-        s_oid = slab.order_id.tolist()
-        s_price = slab.price.tolist()
-        s_qty = slab.qty.tolist()
-        s_qty_orig = slab.qty_orig.tolist()
-        s_side = slab.side.tolist()
-        s_owner = slab.owner.tolist()
-        s_entry = slab.entry_time.tolist()
-        s_otype = slab.otype.tolist()
-        s_tif = slab.tif.tolist()
-        s_nxt = slab.nxt.tolist()
-        s_prv = slab.prv.tolist()
-        free = slab._free[: slab._n_free].tolist()
-        in_use = slab.in_use
-        high_water = slab.high_water
-        id_slot = dict(book._id_slot)
-
-        n_b = book.bids.n
-        bid_price = book.bids.prices[:n_b].tolist()
-        bid_vol = book.bids.volume[:n_b].tolist()
-        bid_head = book.bids.head[:n_b].tolist()
-        bid_tail = book.bids.tail[:n_b].tolist()
-        bid_cnt = book.bids.count[:n_b].tolist()
-        n_a = book.asks.n
-        ask_price = book.asks.prices[:n_a].tolist()
-        ask_vol = book.asks.volume[:n_a].tolist()
-        ask_head = book.asks.head[:n_a].tolist()
-        ask_tail = book.asks.tail[:n_a].tolist()
-        ask_cnt = book.asks.count[:n_a].tolist()
-
-        sequence = self._sequence
-        n_fills = 0
-        traded_quantity = 0
-        notional = 0
-        rejected = 0
-        n_orders = 0
-        n_cancels = 0
-        n_replaces = 0
-        market = int(OrderType.MARKET)
-        fok = int(TimeInForce.FOK)
-        day = int(TimeInForce.DAY)
-        limit_t = int(OrderType.LIMIT)
-        _bisect = bisect_left
-
+        submit = session.submit
+        cancel = session.cancel
+        replace = session.replace
         for i in range(len(kinds)):
             kind = kinds[i]
-            oid = in_oids[i]
-
-            if kind != OP_SUBMIT:
-                # OP_CANCEL and OP_REPLACE both unlink the resting row.
-                slot = id_slot.get(oid)
-                if slot is None:
-                    raise OrderBookError(f"order {oid} not in book {symbol}")
-                if kind == OP_REPLACE:
-                    new_price = in_prices[i]
-                    new_qty = in_qtys[i]
-                    if new_price <= 0 and new_qty <= 0:
-                        raise MatchingError(
-                            f"replace of order {oid} changes nothing"
-                        )
-                    side = s_side[slot]
-                    otype = s_otype[slot]
-                    tif = s_tif[slot]
-                    price = new_price if new_price > 0 else s_price[slot]
-                    qty = new_qty if new_qty > 0 else s_qty[slot]
-                if s_side[slot] == 0:
-                    lp, lv, lh, lt, lc = bid_price, bid_vol, bid_head, bid_tail, bid_cnt
-                else:
-                    lp, lv, lh, lt, lc = ask_price, ask_vol, ask_head, ask_tail, ask_cnt
-                idx = _bisect(lp, s_price[slot])
-                prv = s_prv[slot]
-                nxt = s_nxt[slot]
-                if prv == _NIL:
-                    lh[idx] = nxt
-                else:
-                    s_nxt[prv] = nxt
-                if nxt == _NIL:
-                    lt[idx] = prv
-                else:
-                    s_prv[nxt] = prv
-                lc[idx] -= 1
-                lv[idx] -= s_qty[slot]
-                if lc[idx] == 0:
-                    del lp[idx]
-                    del lv[idx]
-                    del lh[idx]
-                    del lt[idx]
-                    del lc[idx]
-                del id_slot[oid]
-                free.append(slot)
-                in_use -= 1
-                sequence += 1  # the cancel-side level update
-                if kind == OP_CANCEL:
-                    n_cancels += 1
-                    continue
-                n_replaces += 1
+            if kind == OP_SUBMIT:
+                submit(
+                    in_sides[i],
+                    in_otypes[i],
+                    in_tifs[i],
+                    in_prices[i],
+                    in_qtys[i],
+                    in_oids[i],
+                    timestamp,
+                    owner_id,
+                )
+            elif kind == OP_CANCEL:
+                cancel(in_oids[i])
             else:
-                side = in_sides[i]
-                otype = in_otypes[i]
-                tif = in_tifs[i]
-                price = in_prices[i]
-                qty = in_qtys[i]
-
-            n_orders += 1
-            remaining = qty
-            if side == 0:  # incoming bid matches asks (best = index 0)
-                opp_price, opp_vol = ask_price, ask_vol
-                opp_head, opp_tail, opp_cnt = ask_head, ask_tail, ask_cnt
-            else:  # incoming ask matches bids (best = last index)
-                opp_price, opp_vol = bid_price, bid_vol
-                opp_head, opp_tail, opp_cnt = bid_head, bid_tail, bid_cnt
-
-            if tif == fok:
-                # Fillable-volume walk, best level first, early exit.
-                available = 0
-                if side == 0:
-                    for k in range(len(opp_price)):
-                        if otype != market and opp_price[k] > price:
-                            break
-                        available += opp_vol[k]
-                        if available >= remaining:
-                            break
-                else:
-                    for k in range(len(opp_price) - 1, -1, -1):
-                        if otype != market and opp_price[k] < price:
-                            break
-                        available += opp_vol[k]
-                        if available >= remaining:
-                            break
-                if available < remaining:
-                    rejected += 1
-                    continue
-
-            # Match while the order crosses the opposite best level.
-            while remaining > 0 and opp_price:
-                best = 0 if side == 0 else len(opp_price) - 1
-                best_price = opp_price[best]
-                if otype != market:
-                    if side == 0:
-                        if price < best_price:
-                            break
-                    elif price > best_price:
-                        break
-                level_volume = opp_vol[best]
-                take = remaining if remaining < level_volume else level_volume
-                traded_quantity += take
-                notional += take * best_price
-                remaining -= take
-                sequence += 2  # trade print + level update
-                if take == level_volume:
-                    # Whole level consumed: release every maker slot.
-                    slot = opp_head[best]
-                    while slot != _NIL:
-                        del id_slot[s_oid[slot]]
-                        free.append(slot)
-                        in_use -= 1
-                        n_fills += 1
-                        slot = s_nxt[slot]
-                    del opp_price[best]
-                    del opp_vol[best]
-                    del opp_head[best]
-                    del opp_tail[best]
-                    del opp_cnt[best]
-                else:
-                    # Partial level: pop exhausted makers off the FIFO
-                    # head, reduce the last one in place.
-                    opp_vol[best] = level_volume - take
-                    left = take
-                    while left > 0:
-                        slot = opp_head[best]
-                        maker_remaining = s_qty[slot]
-                        n_fills += 1
-                        if maker_remaining <= left:
-                            left -= maker_remaining
-                            nxt = s_nxt[slot]
-                            opp_head[best] = nxt
-                            if nxt == _NIL:
-                                opp_tail[best] = _NIL
-                            else:
-                                s_prv[nxt] = _NIL
-                            opp_cnt[best] -= 1
-                            del id_slot[s_oid[slot]]
-                            free.append(slot)
-                            in_use -= 1
-                        else:
-                            s_qty[slot] = maker_remaining - left
-                            left = 0
-
-            if remaining > 0 and otype == limit_t and tif == day:
-                # Rest the remainder (NEW/CHANGE book update = one tick).
-                if not free:
-                    # Grow the slab buffers, preserving the free-stack
-                    # pop order of OrderSlab._grow.
-                    new_cap = cap * 2
-                    grow = new_cap - cap
-                    s_oid.extend([0] * grow)
-                    s_price.extend([0] * grow)
-                    s_qty.extend([0] * grow)
-                    s_qty_orig.extend([0] * grow)
-                    s_side.extend([0] * grow)
-                    s_owner.extend([0] * grow)
-                    s_entry.extend([0] * grow)
-                    s_otype.extend([0] * grow)
-                    s_tif.extend([0] * grow)
-                    s_nxt.extend([_NIL] * grow)
-                    s_prv.extend([_NIL] * grow)
-                    free.extend(range(new_cap - 1, cap - 1, -1))
-                    cap = new_cap
-                slot = free.pop()
-                in_use += 1
-                if in_use > high_water:
-                    high_water = in_use
-                s_oid[slot] = oid
-                s_price[slot] = price
-                s_qty[slot] = remaining
-                s_qty_orig[slot] = qty
-                s_side[slot] = side
-                s_owner[slot] = owner_id
-                s_entry[slot] = timestamp
-                s_otype[slot] = otype
-                s_tif[slot] = tif
-                if side == 0:
-                    lp, lv, lh, lt, lc = bid_price, bid_vol, bid_head, bid_tail, bid_cnt
-                else:
-                    lp, lv, lh, lt, lc = ask_price, ask_vol, ask_head, ask_tail, ask_cnt
-                idx = _bisect(lp, price)
-                if idx < len(lp) and lp[idx] == price:
-                    tail = lt[idx]
-                    s_prv[slot] = tail
-                    s_nxt[slot] = _NIL
-                    if tail == _NIL:
-                        lh[idx] = slot
-                    else:
-                        s_nxt[tail] = slot
-                    lt[idx] = slot
-                    lc[idx] += 1
-                    lv[idx] += remaining
-                else:
-                    lp.insert(idx, price)
-                    lv.insert(idx, remaining)
-                    lh.insert(idx, slot)
-                    lt.insert(idx, slot)
-                    lc.insert(idx, 1)
-                    s_prv[slot] = _NIL
-                    s_nxt[slot] = _NIL
-                id_slot[oid] = slot
-                sequence += 1
-
-        # -- commit: write the flat buffers back into the arrays ------------
-        slab.capacity = cap
-        slab.order_id = np.asarray(s_oid, dtype=np.int64)
-        slab.price = np.asarray(s_price, dtype=np.int64)
-        slab.qty = np.asarray(s_qty, dtype=np.int64)
-        slab.qty_orig = np.asarray(s_qty_orig, dtype=np.int64)
-        slab.side = np.asarray(s_side, dtype=np.int8)
-        slab.owner = np.asarray(s_owner, dtype=np.int32)
-        slab.entry_time = np.asarray(s_entry, dtype=np.int64)
-        slab.otype = np.asarray(s_otype, dtype=np.int8)
-        slab.tif = np.asarray(s_tif, dtype=np.int8)
-        slab.nxt = np.asarray(s_nxt, dtype=np.int32)
-        slab.prv = np.asarray(s_prv, dtype=np.int32)
-        free_arr = np.zeros(cap, dtype=np.int32)
-        free_arr[: len(free)] = free
-        slab._free = free_arr
-        slab._n_free = len(free)
-        slab.in_use = in_use
-        slab.high_water = high_water
-        book._id_slot = id_slot
-        for arr_side, lp, lv, lh, lt, lc in (
-            (book.bids, bid_price, bid_vol, bid_head, bid_tail, bid_cnt),
-            (book.asks, ask_price, ask_vol, ask_head, ask_tail, ask_cnt),
-        ):
-            n = len(lp)
-            while arr_side.prices.size < n:
-                arr_side._grow()
-            arr_side.prices[:n] = lp
-            arr_side.volume[:n] = lv
-            arr_side.head[:n] = lh
-            arr_side.tail[:n] = lt
-            arr_side.count[:n] = lc
-            arr_side.n = n
-
-        self._sequence = sequence
-        self._m_orders.inc(n_orders)
-        self._m_cancels.inc(n_cancels)
-        self._m_replaces.inc(n_replaces)
-        self._m_fills.inc(n_fills)
-        self._record_book(book)
+                replace(in_oids[i], in_prices[i], in_qtys[i], timestamp)
+        session.commit()
         return ReplayStats(
             n_ops=len(kinds),
-            n_fills=n_fills,
-            traded_quantity=traded_quantity,
-            notional=notional,
-            rejected=rejected,
-            final_sequence=sequence,
+            n_fills=session.n_fills,
+            traded_quantity=session.traded_quantity,
+            notional=session.notional,
+            rejected=session.rejected,
+            final_sequence=session.sequence,
         )

@@ -3,6 +3,7 @@
 from repro.market.agents import (
     Agent,
     AgentMix,
+    FastMarketContext,
     LiquidityTaker,
     MarketContext,
     MarketMaker,
@@ -14,6 +15,7 @@ from repro.market.generator import MarketConfig, MarketSimulator, generate_sessi
 from repro.market.hawkes import BURSTY, CALM, HawkesParams, HawkesProcess, sample_arrivals
 from repro.market.replay import Tick, TickTape
 from repro.market.stats import TrafficStats, describe, traffic_stats
+from repro.market.tape_cache import cached_session, clear_tape_cache
 
 __all__ = [
     "Agent",
@@ -23,6 +25,7 @@ __all__ = [
     "ExchangeGateway",
     "ExecType",
     "ExecutionReport",
+    "FastMarketContext",
     "GatewayStats",
     "HawkesParams",
     "HawkesProcess",
@@ -35,6 +38,8 @@ __all__ = [
     "Tick",
     "TickTape",
     "TrafficStats",
+    "cached_session",
+    "clear_tape_cache",
     "default_mix",
     "describe",
     "generate_session",

@@ -6,18 +6,43 @@ ingredients the paper's traffic analysis relies on — passive liquidity
 (market makers re-quoting), aggressive flow (takers), and order-chasing
 behaviour that amplifies bursts (momentum traders) — while keeping the
 book two-sided and mean-reverting around a slowly moving reference price.
+
+Each agent exposes two equivalent surfaces:
+
+- ``act`` runs operations through the per-op engine API (the reference
+  path, any engine);
+- ``act_fast`` plans the same operations as plain-int records against a
+  checked-out :class:`~repro.lob.array_matching.ReplaySession` — no
+  ``Order``/``MatchResult`` objects per arrival.  The RNG draw sequence
+  is kept identical draw for draw (``rng.random()`` advances the
+  bit-stream exactly like ``rng.uniform()``, and the mix's CDF-bisect
+  sampling consumes the same single draw ``rng.choice(p=...)`` does), so
+  the generator's fast path produces byte-identical tapes — CI holds it
+  to that with a sha256 gate.
 """
 
 from __future__ import annotations
 
 import abc
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
+from repro.lob.array_matching import ReplaySession
 from repro.lob.engine import AnyMatchingEngine, make_matching_engine
 from repro.lob.matching import MatchResult
-from repro.lob.order import Order, OrderType, Side, TimeInForce
+from repro.lob.order import Order, OrderType, Side, TimeInForce, next_order_id
+
+# Plain-int encodings for the fast path (== the enum values).
+_BID = int(Side.BID)
+_ASK = int(Side.ASK)
+_LIMIT = int(OrderType.LIMIT)
+_MARKET = int(OrderType.MARKET)
+_DAY = int(TimeInForce.DAY)
+_IOC = int(TimeInForce.IOC)
+_SIGN = (1, -1)  # Side.sign by int side
 
 
 @dataclass
@@ -46,14 +71,69 @@ class MarketContext:
         return round(mid) if mid is not None else round(self.reference_price)
 
 
+class FastMarketContext:
+    """Session-backed twin of :class:`MarketContext` for ``act_fast``.
+
+    Reads (best bid/ask, anchor price) come from the checked-out
+    :class:`~repro.lob.array_matching.ReplaySession` buffers, writes go
+    through the session's integer ops; the live book is only touched at
+    commit.  ``anchor_price`` reproduces the reference context's float
+    math exactly (same rounding of the same mid), which the tape parity
+    gate depends on.
+    """
+
+    __slots__ = ("symbol", "reference_price", "last_direction", "session", "_owner_ids")
+
+    def __init__(
+        self, symbol: str, reference_price: float, session: ReplaySession
+    ) -> None:
+        self.symbol = symbol
+        self.reference_price = reference_price
+        self.last_direction = 0
+        self.session = session
+        self._owner_ids: dict[str, int] = {}
+
+    def owner_id(self, name: str) -> int:
+        """Dense owner id for ``name`` (memoised interning)."""
+        owner = self._owner_ids.get(name)
+        if owner is None:
+            owner = self.session.intern(name)
+            self._owner_ids[name] = owner
+        return owner
+
+    def anchor_price(self) -> int:
+        """Best integer price to quote around: the mid if the book is
+        two-sided, else the drifting reference price."""
+        bid = self.session.best_bid()
+        ask = self.session.best_ask()
+        if bid is not None and ask is not None:
+            return round((bid + ask) / 2)
+        return round(self.reference_price)
+
+
 class Agent(abc.ABC):
-    """One participant archetype; ``act`` performs engine operations."""
+    """One participant archetype; ``act`` performs engine operations.
+
+    ``fast_capable`` subclasses also implement ``act_fast``, the same
+    behaviour planned as plain-int ops against a
+    :class:`~repro.lob.array_matching.ReplaySession` with an identical
+    RNG draw sequence; it returns True when the arrival produced market
+    events (the reference loop's ``any(result.events ...)`` test).
+    """
+
+    fast_capable: ClassVar[bool] = False
 
     @abc.abstractmethod
     def act(
         self, ctx: MarketContext, timestamp: int, rng: np.random.Generator
     ) -> list[MatchResult]:
         """Perform zero or more operations at ``timestamp``; return results."""
+
+    def act_fast(
+        self, fctx: FastMarketContext, timestamp: int, rng: np.random.Generator
+    ) -> bool:
+        """Plan the same operations through ``fctx.session`` (fast path)."""
+        raise NotImplementedError(f"{type(self).__name__} has no fast path")
 
 
 class MarketMaker(Agent):
@@ -95,6 +175,33 @@ class MarketMaker(Agent):
             self._live.append(order.order_id)
         return results
 
+    fast_capable = True
+
+    def act_fast(self, fctx, timestamp, rng):
+        session = fctx.session
+        had_events = False
+        while len(self._live) >= self.max_live_quotes:
+            order_id = self._live.pop(0)
+            if session.contains(order_id):
+                session.cancel(order_id)
+                had_events = True
+        anchor = fctx.anchor_price()
+        side = _BID if rng.random() < 0.5 else _ASK
+        offset = int(rng.integers(1, self.max_depth + 1))
+        price = anchor - offset if side == _BID else anchor + offset
+        if price <= 0:
+            return had_events
+        quantity = int(rng.integers(1, 10))
+        order_id = next_order_id()
+        session.submit(
+            side, _LIMIT, _DAY, price, quantity, order_id, timestamp,
+            fctx.owner_id(self.name),
+        )
+        if session.op_rested:
+            self._live.append(order_id)
+        # A DAY limit always prints (fills and/or a resting update).
+        return True
+
 
 class LiquidityTaker(Agent):
     """Sends aggressive IOC orders that cross the spread (noise flow)."""
@@ -121,6 +228,27 @@ class LiquidityTaker(Agent):
             ctx.last_direction = side.sign
         return [result]
 
+    fast_capable = True
+
+    def act_fast(self, fctx, timestamp, rng):
+        session = fctx.session
+        best_bid = session.best_bid()
+        best_ask = session.best_ask()
+        if best_bid is None or best_ask is None:
+            return False
+        side = _BID if rng.random() < 0.5 else _ASK
+        touch = best_ask if side == _BID else best_bid
+        quantity = int(rng.integers(1, 6))
+        session.submit(
+            side, _LIMIT, _IOC, touch, quantity, next_order_id(), timestamp,
+            fctx.owner_id(self.name),
+        )
+        if session.op_filled:
+            fctx.last_direction = _SIGN[side]
+            return True
+        # An unfilled IOC leaves no trace (no fills, no resting update).
+        return False
+
 
 class MomentumTrader(Agent):
     """Chases the last move, amplifying bursts into directional cascades."""
@@ -144,6 +272,22 @@ class MomentumTrader(Agent):
         )
         return [ctx.engine.submit(ctx.symbol, order, timestamp)]
 
+    fast_capable = True
+
+    def act_fast(self, fctx, timestamp, rng):
+        if fctx.last_direction == 0:
+            return False
+        session = fctx.session
+        if session.best_bid() is None or session.best_ask() is None:
+            return False
+        side = _BID if fctx.last_direction > 0 else _ASK
+        quantity = int(rng.integers(1, 4))
+        session.submit(
+            side, _MARKET, _DAY, 1, quantity, next_order_id(), timestamp,
+            fctx.owner_id(self.name),
+        )
+        return session.op_filled > 0
+
 
 @dataclass(frozen=True)
 class AgentMix:
@@ -151,6 +295,8 @@ class AgentMix:
 
     agents: tuple[Agent, ...]
     weights: tuple[float, ...]
+    # Normalized CDF of the weights, cached for sample_fast's bisect.
+    _cdf: list[float] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.agents) != len(self.weights):
@@ -159,12 +305,30 @@ class AgentMix:
             raise ValueError("agent mix cannot be empty")
         if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
             raise ValueError("weights must be non-negative and sum > 0")
+        probs = np.asarray(self.weights, dtype=float)
+        probs /= probs.sum()
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        object.__setattr__(self, "_cdf", cdf.tolist())
+
+    @property
+    def supports_fast(self) -> bool:
+        """True when every agent in the mix implements ``act_fast``."""
+        return all(agent.fast_capable for agent in self.agents)
 
     def sample(self, rng: np.random.Generator) -> Agent:
         """Draw one agent according to the mix weights."""
         probs = np.asarray(self.weights, dtype=float)
         probs /= probs.sum()
         return self.agents[int(rng.choice(len(self.agents), p=probs))]
+
+    def sample_fast(self, rng: np.random.Generator) -> Agent:
+        """Draw-identical twin of :meth:`sample` without the numpy round
+        trip: ``rng.choice(n, p=probs)`` inverts the probability CDF on a
+        single ``rng.random()`` draw, so bisecting the cached CDF on the
+        same draw selects the same agent and leaves the bit-stream in the
+        same state (pinned by the fast-path parity tests)."""
+        return self.agents[bisect_right(self._cdf, rng.random())]
 
 
 def default_mix() -> AgentMix:

@@ -131,9 +131,7 @@ class ExchangeGateway:
         if filled == msg.order_qty:
             exec_type = ExecType.FILLED
         elif filled > 0:
-            exec_type = ExecType.PARTIAL if rested or order.remaining == 0 else ExecType.PARTIAL
-            if not rested and order.remaining > 0:
-                exec_type = ExecType.PARTIAL  # IOC partial; remainder expired
+            exec_type = ExecType.PARTIAL  # rested remainder or expired IOC tail
         elif rested:
             exec_type = ExecType.ACKNOWLEDGED
         else:

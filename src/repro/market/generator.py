@@ -4,6 +4,22 @@ This produces the synthetic CME-like session used by every experiment:
 bursty tick timestamps (Hawkes), realistic two-sided book dynamics
 (agent-based order flow through a real price–time-priority matching
 engine), and per-tick depth snapshots recorded as a :class:`TickTape`.
+
+Two generation paths produce byte-identical tapes (CI gates the sha256):
+
+- the **reference loop** runs every agent action through the per-op
+  engine API — any engine, one ``MatchResult`` list per arrival;
+- the **fast path** (``REPRO_MARKET_FAST``, default on, array engine
+  only) checks the book out into a
+  :class:`~repro.lob.array_matching.ReplaySession` once per arrival
+  chunk and lets agents plan plain-int ops against it — no per-arrival
+  ``Order``/``MatchResult``/event objects, snapshots sliced straight
+  from the session's packed level lists.  The RNG draw sequence and the
+  reference-price drift are preserved draw for draw, which is what
+  keeps the tapes bit-identical.
+
+Arrivals are consumed in chunks of ``_ARRIVAL_CHUNK`` either way, so a
+long session never materialises its full arrival array as a Python list.
 """
 
 from __future__ import annotations
@@ -12,15 +28,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import envcfg
+from repro.lob.array_matching import ArrayMatchingEngine, ReplaySession
 from repro.lob.engine import make_matching_engine
 from repro.lob.events import TradeTick
 from repro.lob.order import Order, Side
 from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
-from repro.market.agents import AgentMix, MarketContext, default_mix
+from repro.market.agents import AgentMix, FastMarketContext, MarketContext, default_mix
 from repro.market.hawkes import BURSTY, HawkesParams, HawkesProcess
 from repro.market.replay import Tick, TickTape
 from repro.metrics import MetricRegistry
 from repro.units import sec_to_ns
+
+# Arrival timestamps are converted to Python ints this many at a time —
+# bounds peak memory on long sessions and, on the fast path, sets the
+# checkout/commit cadence of the replay session.
+_ARRIVAL_CHUNK = 4096
 
 
 @dataclass(frozen=True)
@@ -91,7 +114,8 @@ class MarketSimulator:
         Every Hawkes arrival triggers one agent action; each action's
         market-data events become one tick (timestamp + post-event
         snapshot).  The same (config, mix, seed, duration) always produces
-        the identical tape.
+        the identical tape — regardless of ``REPRO_MARKET_FAST`` and
+        ``REPRO_LOB_ENGINE`` (both parity-gated in CI).
         """
         cfg = self.config
         rng = np.random.default_rng(self.seed)
@@ -107,29 +131,102 @@ class MarketSimulator:
         process = HawkesProcess(cfg.hawkes, rng)
         arrival_times = process.sample_times_ns(sec_to_ns(duration_s))
 
+        if (
+            envcfg.get_bool("REPRO_MARKET_FAST")
+            and self.mix.supports_fast
+            and isinstance(ctx.engine, ArrayMatchingEngine)
+        ):
+            return self._generate_fast(ctx.engine, rng, arrival_times, max_ticks)
+        return self._generate_reference(ctx, rng, arrival_times, max_ticks)
+
+    def _generate_reference(
+        self,
+        ctx: MarketContext,
+        rng: np.random.Generator,
+        arrival_times: np.ndarray,
+        max_ticks: int | None,
+    ) -> TickTape:
+        """The per-op loop: every action through the engine's public API."""
+        cfg = self.config
         ticks: list[Tick] = []
         sequence = 0
-        for timestamp in arrival_times.tolist():
-            agent = self.mix.sample(rng)
-            results = agent.act(ctx, timestamp, rng)
-            if not any(result.events for result in results):
-                continue
-            # Random-walk drift of the reference price keeps the market alive
-            # even if one side is temporarily swept.
-            ctx.reference_price += rng.normal(0.0, 0.05)
-            last_trade = self._last_trade(results)
-            sequence += 1
-            snapshot = DepthSnapshot.capture(
-                ctx.book,
-                timestamp=timestamp,
-                depth=cfg.snapshot_depth,
-                last_trade_price=last_trade[0],
-                last_trade_quantity=last_trade[1],
-                sequence=sequence,
-            )
-            ticks.append(Tick(timestamp=timestamp, snapshot=snapshot))
-            if max_ticks is not None and len(ticks) >= max_ticks:
-                break
+        for start in range(0, arrival_times.shape[0], _ARRIVAL_CHUNK):
+            for timestamp in arrival_times[start : start + _ARRIVAL_CHUNK].tolist():
+                agent = self.mix.sample(rng)
+                results = agent.act(ctx, timestamp, rng)
+                if not any(result.events for result in results):
+                    continue
+                # Random-walk drift of the reference price keeps the market
+                # alive even if one side is temporarily swept.
+                ctx.reference_price += rng.normal(0.0, 0.05)
+                last_trade = self._last_trade(results)
+                sequence += 1
+                snapshot = DepthSnapshot.capture(
+                    ctx.book,
+                    timestamp=timestamp,
+                    depth=cfg.snapshot_depth,
+                    last_trade_price=last_trade[0],
+                    last_trade_quantity=last_trade[1],
+                    sequence=sequence,
+                )
+                ticks.append(Tick(timestamp=timestamp, snapshot=snapshot))
+                if max_ticks is not None and len(ticks) >= max_ticks:
+                    return TickTape(ticks)
+        return TickTape(ticks)
+
+    def _generate_fast(
+        self,
+        engine: ArrayMatchingEngine,
+        rng: np.random.Generator,
+        arrival_times: np.ndarray,
+        max_ticks: int | None,
+    ) -> TickTape:
+        """The batch-kernel loop: agents plan int ops on a replay session.
+
+        One :class:`ReplaySession` checkout per arrival chunk; commits at
+        chunk boundaries (and before any early return) so the live book
+        and metric registry end exactly as the reference loop leaves
+        them.  An exception inside a chunk propagates without committing,
+        leaving the book at the last chunk boundary — agent-op atomicity.
+        """
+        cfg = self.config
+        symbol = cfg.symbol
+        depth = cfg.snapshot_depth
+        session = ReplaySession(engine, symbol)
+        fctx = FastMarketContext(symbol, float(cfg.initial_price), session)
+        sample_fast = self.mix.sample_fast
+        normal = rng.normal
+        ticks: list[Tick] = []
+        sequence = 0
+        for start in range(0, arrival_times.shape[0], _ARRIVAL_CHUNK):
+            if start:
+                session.refresh()
+            for timestamp in arrival_times[start : start + _ARRIVAL_CHUNK].tolist():
+                agent = sample_fast(rng)
+                traded_before = session.traded_quantity
+                if not agent.act_fast(fctx, timestamp, rng):
+                    continue
+                fctx.reference_price += normal(0.0, 0.05)
+                if session.traded_quantity > traded_before:
+                    last_price, last_quantity = session.trade_price, session.trade_qty
+                else:
+                    last_price, last_quantity = None, 0
+                sequence += 1
+                snapshot = DepthSnapshot.from_ladders(
+                    symbol,
+                    timestamp,
+                    depth,
+                    session.top_bids(depth),
+                    session.top_asks(depth),
+                    last_price,
+                    last_quantity,
+                    sequence,
+                )
+                ticks.append(Tick(timestamp=timestamp, snapshot=snapshot))
+                if max_ticks is not None and len(ticks) >= max_ticks:
+                    session.commit()
+                    return TickTape(ticks)
+            session.commit()
         return TickTape(ticks)
 
     @staticmethod
@@ -148,6 +245,11 @@ def generate_session(
     hawkes: HawkesParams | None = None,
     symbol: str = "ESU6",
 ) -> TickTape:
-    """One-call helper used across examples and benchmarks."""
+    """One-call helper used across examples and benchmarks.
+
+    Always generates fresh; :func:`repro.market.tape_cache.cached_session`
+    is the memoised front door for callers that replay identical sessions
+    (campaign probes, benchmarks).
+    """
     config = MarketConfig(symbol=symbol, hawkes=hawkes or BURSTY)
     return MarketSimulator(config, seed=seed).generate(duration_s)

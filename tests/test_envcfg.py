@@ -49,8 +49,12 @@ def test_registry_contents_and_defaults():
         "REPRO_METRICS_FLUSH_NS",
         "REPRO_METRICS_EXPORT",
         "REPRO_LOB_ENGINE",
+        "REPRO_MARKET_FAST",
+        "REPRO_TAPE_CACHE",
     }
     assert by_name["REPRO_FAST_LOOP"].default is True
+    assert by_name["REPRO_MARKET_FAST"].default is True
+    assert by_name["REPRO_TAPE_CACHE"].default is None
     assert by_name["REPRO_METRICS"].default == 1
     assert by_name["REPRO_METRICS_FLUSH_NS"].default == 0
     assert by_name["REPRO_METRICS_EXPORT"].default is None
