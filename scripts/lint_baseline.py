@@ -21,17 +21,21 @@ import sys
 from pathlib import Path
 
 from repro.lint.__main__ import DEFAULT_PATHS, _stats_payload
-from repro.lint import iter_python_files, lint_paths, project_findings
+from repro.lint import project_findings
+from repro.lint.cache import analyze_paths, project_findings_for
 
 BASELINE = Path("benchmarks/results/lint_baseline.json")
 
 
 def current_stats() -> dict:
     roots = [Path(p) for p in DEFAULT_PATHS if Path(p).exists()]
-    files = sum(1 for _ in iter_python_files(roots))
-    findings = lint_paths(roots)
+    # DEFAULT_PATHS covers src/, so the facts already span every parity
+    # pair — the project rules (RL006–RL009) see the whole tree.
+    result = analyze_paths(roots)
+    findings = list(result.findings)
+    findings.extend(project_findings_for(list(result.facts)))
     findings.extend(project_findings())
-    return _stats_payload(findings, files)
+    return _stats_payload(findings, result.files_scanned)
 
 
 def main() -> int:

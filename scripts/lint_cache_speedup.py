@@ -1,0 +1,52 @@
+"""CI gate on the incremental lint cache's cold-vs-warm speedup.
+
+Usage::
+
+    python -m repro.lint --cache DIR --timing 2> cold.t
+    python -m repro.lint --cache DIR --timing 2> warm.t
+    python scripts/lint_cache_speedup.py cold.t warm.t [min_ratio]
+
+Each input file holds one ``--timing`` line
+(``lint: 1.234s, 182 file(s), 0 cache hit(s)``).  Exit 1 when the warm
+run is not at least ``min_ratio`` (default 3) times faster than the
+cold run — the incremental engine's reason to exist.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+_TIMING = re.compile(r"lint: ([\d.]+)s")
+
+
+def _seconds(path: str) -> float:
+    text = Path(path).read_text()
+    match = _TIMING.search(text)
+    if match is None:
+        raise SystemExit(f"lint-cache-speedup: no timing line in {path}: {text!r}")
+    return float(match.group(1))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        raise SystemExit("usage: lint_cache_speedup.py COLD_FILE WARM_FILE [MIN_RATIO]")
+    cold = _seconds(argv[0])
+    warm = _seconds(argv[1])
+    min_ratio = float(argv[2]) if len(argv) > 2 else 3.0
+    ratio = cold / warm if warm > 0 else float("inf")
+    print(
+        f"lint-cache speedup: {ratio:.1f}x (cold {cold:.3f}s, warm {warm:.3f}s, "
+        f"floor {min_ratio:g}x)"
+    )
+    if ratio < min_ratio:
+        print(
+            f"lint-cache-speedup: warm run only {ratio:.1f}x faster; "
+            f"expected >= {min_ratio:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -103,7 +103,7 @@ class RunCompleted(Invariant):
     name = "run_completed"
     description = "The run produced a result (no worker crash, no timeout)."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         error = evidence.get("error")
         if error:
             return [f"run did not complete: {error}"]
@@ -116,7 +116,7 @@ class TraceReadable(Invariant):
     name = "trace_readable"
     description = "The per-run telemetry trace parses cleanly."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         error = evidence.get("trace_error")
         if error:
             return [
@@ -134,7 +134,7 @@ class BoundedMissRate(Invariant):
     name = "bounded_miss_rate"
     description = "Miss rate stays inside the scenario bound; queries answered."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         result = evidence.get("result")
         if not result:
             return []  # run_completed owns the missing-result case
@@ -154,7 +154,7 @@ class NoNegativeQueueDepth(Invariant):
     name = "no_negative_queue_depth"
     description = "Queue/counter accounting never goes negative or over cap."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         out = []
         for name, value in sorted(_counters(evidence).items()):
             if value < 0:
@@ -178,7 +178,7 @@ class OffloadConservation(Invariant):
     name = "offload_conservation"
     description = "admitted == responded + completed_late + dropped + unscored."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         counters = _counters(evidence)
         if "offload.admitted" not in counters:
             return []  # metrics disabled: nothing to conserve against
@@ -204,7 +204,7 @@ class BookIntegrity(Invariant):
     name = "book_integrity"
     description = "Depth-snapshot checksums reproduce; ladders stay valid."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         probe = evidence.get("probes", {}).get("book")
         if not probe:
             return []
@@ -225,7 +225,7 @@ class QuarantineIsolation(Invariant):
     name = "quarantine_isolation"
     description = "No batch issues on a device inside its quarantine window."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         if events is None:
             return []
         windows: dict[int, list[list[float]]] = {}
@@ -274,7 +274,7 @@ class PowerBudget(Invariant):
     name = "power_budget"
     description = "No power sample exceeds the condition's budget."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         if events is None:
             return []
         if evidence.get("profile") != "lighttrader":
@@ -302,7 +302,7 @@ class MonotoneSequenceAfterResync(Invariant):
     name = "monotone_sequence_after_resync"
     description = "Feed sequence numbers stay monotone; loss accounting exact."
 
-    def check(self, evidence, events):
+    def check(self, evidence: dict, events: list[dict] | None) -> list[str]:
         probe = evidence.get("probes", {}).get("feed")
         if not probe:
             return []

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lob.snapshot import DepthSnapshot
 from repro.market.generator import generate_session
+from repro.market.replay import TickTape
 from repro.market.tape_cache import cached_session
 from repro.pipeline.feed_handler import SEQ_DUPLICATE, SequenceTracker
 
@@ -54,7 +56,7 @@ def _fold(digest: int, value: int) -> int:
     return digest
 
 
-def _snapshot_violations(snapshot, last_sequence: int) -> list[str]:
+def _snapshot_violations(snapshot: DepthSnapshot, last_sequence: int) -> list[str]:
     """Structural checks on one depth snapshot."""
     out: list[str] = []
     bid_prices = [price for price, _ in snapshot.bids]
@@ -78,7 +80,7 @@ def _snapshot_violations(snapshot, last_sequence: int) -> list[str]:
     return out
 
 
-def _tape_digest(tape) -> tuple[int, int, list[str]]:
+def _tape_digest(tape: TickTape) -> tuple[int, int, list[str]]:
     """(folded checksum, tick count, structural violations) of one tape."""
     digest = _FNV_OFFSET
     violations: list[str] = []

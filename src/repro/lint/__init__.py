@@ -187,11 +187,45 @@ def all_rules() -> dict[str, type[Rule]]:
     return dict(_RULE_REGISTRY)
 
 
+_SPAN_END = 1 << 30
+
+
+def _string_literal_spans(tree: ast.Module) -> dict[int, list[tuple[int, int]]]:
+    """Per-line column spans covered by string constants.
+
+    Directive *examples* inside strings (docstrings, test fixtures)
+    must not act as real suppressions, but a genuine directive comment
+    trailing a single-line string on the same line must — hence column
+    spans, not whole lines.
+    """
+    spans: dict[int, list[tuple[int, int]]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+            continue
+        end_lineno = node.end_lineno if node.end_lineno is not None else node.lineno
+        end_col = node.end_col_offset if node.end_col_offset is not None else _SPAN_END
+        if end_lineno == node.lineno:
+            spans.setdefault(node.lineno, []).append((node.col_offset, end_col))
+            continue
+        spans.setdefault(node.lineno, []).append((node.col_offset, _SPAN_END))
+        for line in range(node.lineno + 1, end_lineno):
+            spans.setdefault(line, []).append((0, _SPAN_END))
+        spans.setdefault(end_lineno, []).append((0, end_col))
+    return spans
+
+
+def _in_string_literal(
+    spans: dict[int, list[tuple[int, int]]], lineno: int, col: int
+) -> bool:
+    return any(start <= col < end for start, end in spans.get(lineno, ()))
+
+
 def _parse_suppressions(ctx: FileContext) -> None:
     lines = ctx.lines
+    spans = _string_literal_spans(ctx.tree)
     for lineno, text in enumerate(lines, start=1):
         match = _DIRECTIVE.search(text)
-        if match is None:
+        if match is None or _in_string_literal(spans, lineno, match.start()):
             continue
         codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
         if match.group("scope"):

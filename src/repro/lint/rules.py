@@ -331,8 +331,16 @@ _LOG_METHODS = {
 }
 
 
-def _is_hot_path_decorator(node: ast.expr) -> bool:
+def _is_hot_path_decorator(ctx: FileContext, node: ast.expr) -> bool:
     target = node.func if isinstance(node, ast.Call) else node
+    # Alias-expanded resolution first: catches `from repro.hotpath
+    # import hot_path as hp` and `import repro.hotpath as hp` forms the
+    # syntactic checks below cannot see.
+    dotted = ctx.dotted_name(target)
+    if dotted is not None and (
+        dotted == "repro.hotpath.hot_path" or dotted.endswith(".hot_path")
+    ):
+        return True
     if isinstance(target, ast.Name):
         return target.id == "hot_path"
     if isinstance(target, ast.Attribute):
@@ -365,10 +373,20 @@ class HotPathHygiene(Rule):
         manifest = {
             qualname
             for entry in MANIFEST
-            for suffix, _, qualname in (entry.partition("::"),)
-            if self.ctx.path.endswith(suffix)
+            for target, _, qualname in (entry.partition("::"),)
+            if self._manifest_targets_file(target)
         }
         self._scan_body(self.ctx.tree.body, prefix="", manifest=manifest)
+
+    def _manifest_targets_file(self, target: str) -> bool:
+        """Whether a MANIFEST address names this file.  Entries may use
+        a path suffix (``repro/sim/metrics.py``) or a dotted module
+        qualified name (``repro.sim.metrics``)."""
+        if "/" in target or target.endswith(".py"):
+            return self.ctx.path.endswith(target)
+        from repro.lint.facts import module_name_for
+
+        return module_name_for(self.ctx.path) == target
 
     def _scan_body(self, body: list[ast.stmt], prefix: str, manifest: set[str]) -> None:
         for node in body:
@@ -377,7 +395,8 @@ class HotPathHygiene(Rule):
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qualname = f"{prefix}{node.name}"
                 marked = qualname in manifest or any(
-                    _is_hot_path_decorator(dec) for dec in node.decorator_list
+                    _is_hot_path_decorator(self.ctx, dec)
+                    for dec in node.decorator_list
                 )
                 if marked:
                     for stmt in node.body:

@@ -30,7 +30,9 @@ from typing import ClassVar
 
 import numpy as np
 
+from repro.lob.array_book import ArrayBook
 from repro.lob.array_matching import ReplaySession
+from repro.lob.book import LimitOrderBook
 from repro.lob.engine import AnyMatchingEngine, make_matching_engine
 from repro.lob.matching import MatchResult
 from repro.lob.order import Order, OrderType, Side, TimeInForce, next_order_id
@@ -60,7 +62,7 @@ class MarketContext:
     engine: AnyMatchingEngine = field(default_factory=make_matching_engine)
 
     @property
-    def book(self):
+    def book(self) -> "LimitOrderBook | ArrayBook":
         """The symbol's live book."""
         return self.engine.book(self.symbol)
 
@@ -150,7 +152,9 @@ class MarketMaker(Agent):
         self.max_depth = max_depth
         self._live: list[int] = []  # order ids, oldest first
 
-    def act(self, ctx, timestamp, rng):
+    def act(
+        self, ctx: MarketContext, timestamp: int, rng: np.random.Generator
+    ) -> list[MatchResult]:
         results: list[MatchResult] = []
         book = ctx.book
         # Recycle stale quotes beyond the live bound.
@@ -177,7 +181,9 @@ class MarketMaker(Agent):
 
     fast_capable = True
 
-    def act_fast(self, fctx, timestamp, rng):
+    def act_fast(
+        self, fctx: FastMarketContext, timestamp: int, rng: np.random.Generator
+    ) -> bool:
         session = fctx.session
         had_events = False
         while len(self._live) >= self.max_live_quotes:
@@ -210,7 +216,9 @@ class LiquidityTaker(Agent):
         self.name = name
         self.aggression = aggression
 
-    def act(self, ctx, timestamp, rng):
+    def act(
+        self, ctx: MarketContext, timestamp: int, rng: np.random.Generator
+    ) -> list[MatchResult]:
         book = ctx.book
         if book.best_bid is None or book.best_ask is None:
             return []
@@ -230,7 +238,9 @@ class LiquidityTaker(Agent):
 
     fast_capable = True
 
-    def act_fast(self, fctx, timestamp, rng):
+    def act_fast(
+        self, fctx: FastMarketContext, timestamp: int, rng: np.random.Generator
+    ) -> bool:
         session = fctx.session
         best_bid = session.best_bid()
         best_ask = session.best_ask()
@@ -256,7 +266,9 @@ class MomentumTrader(Agent):
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def act(self, ctx, timestamp, rng):
+    def act(
+        self, ctx: MarketContext, timestamp: int, rng: np.random.Generator
+    ) -> list[MatchResult]:
         if ctx.last_direction == 0:
             return []
         book = ctx.book
@@ -274,7 +286,9 @@ class MomentumTrader(Agent):
 
     fast_capable = True
 
-    def act_fast(self, fctx, timestamp, rng):
+    def act_fast(
+        self, fctx: FastMarketContext, timestamp: int, rng: np.random.Generator
+    ) -> bool:
         if fctx.last_direction == 0:
             return False
         session = fctx.session

@@ -24,6 +24,7 @@ long session never materialises its full arrival array as a Python list.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro import envcfg
 from repro.lob.array_matching import ArrayMatchingEngine, ReplaySession
 from repro.lob.engine import make_matching_engine
 from repro.lob.events import TradeTick
+from repro.lob.matching import MatchResult
 from repro.lob.order import Order, Side
 from repro.lob.snapshot import CANONICAL_DEPTH, DepthSnapshot
 from repro.market.agents import AgentMix, FastMarketContext, MarketContext, default_mix
@@ -230,7 +232,7 @@ class MarketSimulator:
         return TickTape(ticks)
 
     @staticmethod
-    def _last_trade(results) -> tuple[int | None, int]:
+    def _last_trade(results: Sequence[MatchResult]) -> tuple[int | None, int]:
         """Extract the price/quantity of the last trade in ``results``."""
         for result in reversed(results):
             for event in reversed(result.events):

@@ -44,7 +44,7 @@ class TickTape(Sequence[Tick]):
     def __len__(self) -> int:
         return len(self._ticks)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> "Tick | TickTape":
         if isinstance(index, slice):
             return TickTape(self._ticks[index])
         return self._ticks[index]

@@ -51,6 +51,7 @@ def test_registry_contents_and_defaults():
         "REPRO_LOB_ENGINE",
         "REPRO_MARKET_FAST",
         "REPRO_TAPE_CACHE",
+        "REPRO_LINT_CACHE",
     }
     assert by_name["REPRO_FAST_LOOP"].default is True
     assert by_name["REPRO_MARKET_FAST"].default is True

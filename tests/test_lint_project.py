@@ -1,0 +1,584 @@
+"""Whole-program rules RL006–RL009 over synthetic module trees.
+
+Fixture modules are assembled in-memory (or on disk for the CLI
+acceptance test) with repro-shaped paths so the project model treats
+them as the real packages.  Every rule gets a drift case, a clean case
+and a suppression case.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import build_context
+from repro.lint.facts import extract_facts
+from repro.lint.project import build_model
+from repro.lint.project_rules import project_rule_findings
+
+
+def model_of(files: dict[str, str]):
+    facts = [
+        extract_facts(build_context(textwrap.dedent(source), path))
+        for path, source in files.items()
+    ]
+    return build_model(facts)
+
+
+def findings_of(files: dict[str, str], code: str | None = None):
+    findings = [
+        f for f in project_rule_findings(model_of(files)) if not f.suppressed
+    ]
+    if code is not None:
+        findings = [f for f in findings if f.rule == code]
+    return findings
+
+
+BACKTEST_BOTH_SIDES = """
+from repro.sim.events import EventKind
+
+class Backtester:
+    def _run_lighttrader(self, queue):
+        for kind in queue:
+            if kind is EventKind.ARRIVAL:
+                pass
+            elif kind is EventKind.COMPLETION:
+                pass
+            elif kind is EventKind.FAULT:
+                pass
+
+    def _run_lighttrader_fast(self, queue):
+        for kind in queue:
+            if kind is EventKind.COMPLETION:
+                pass
+            elif kind is EventKind.FAULT:
+                pass
+            elif kind is EventKind.ARRIVAL:
+                pass
+
+    def _run_fixed_system(self, queue, state):
+        pass
+
+    def _run_fixed_system_fast(self, state):
+        pass
+"""
+
+
+# ---------------------------------------------------------------------------
+# RL006 — parity-surface drift
+# ---------------------------------------------------------------------------
+
+
+def test_rl006_mirrored_loops_are_clean():
+    assert findings_of(
+        {"src/repro/sim/backtest.py": BACKTEST_BOTH_SIDES}, "RL006"
+    ) == []
+
+
+def test_rl006_branch_added_on_one_side_only():
+    drifted = BACKTEST_BOTH_SIDES.replace(
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n",
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n"
+        "            elif kind is EventKind.RETRY:\n                pass\n",
+    )
+    assert drifted != BACKTEST_BOTH_SIDES
+    findings = findings_of({"src/repro/sim/backtest.py": drifted}, "RL006")
+    assert findings, "RETRY branch on the fast side only must be drift"
+    assert any("backtest-lighttrader-loop" in f.message for f in findings)
+    assert any("EventKind.RETRY" in f.message for f in findings)
+
+
+def test_rl006_renamed_counterpart_is_drift():
+    renamed = BACKTEST_BOTH_SIDES.replace(
+        "def _run_lighttrader_fast", "def _run_lighttrader_fast2"
+    )
+    findings = findings_of({"src/repro/sim/backtest.py": renamed}, "RL006")
+    assert any(
+        "counterpart" in f.message and "backtest-lighttrader-loop" in f.message
+        for f in findings
+    )
+
+
+def test_rl006_rng_flow_divergence():
+    files = {
+        "src/repro/market/generator.py": """
+        class MarketSimulator:
+            def _generate_reference(self, ctx, rng):
+                price = rng.normal(0.0, 0.05)
+                size = rng.integers(1, 9)
+                return price, size
+
+            def _generate_fast(self, ctx, rng):
+                size = rng.integers(1, 9)
+                price = rng.normal(0.0, 0.05)
+                return price, size
+        """
+    }
+    findings = findings_of(files, "RL006")
+    assert any(
+        "RNG draw flows diverge" in f.message
+        and "market-generator-loop" in f.message
+        for f in findings
+    )
+
+
+def test_rl006_draw_equivalence_classes_are_clean():
+    # uniform vs random draw the same double from the stream.
+    files = {
+        "src/repro/market/generator.py": """
+        class MarketSimulator:
+            def _generate_reference(self, ctx, rng):
+                return rng.uniform()
+
+            def _generate_fast(self, ctx, rng):
+                return rng.random()
+        """
+    }
+    assert findings_of(files, "RL006") == []
+
+
+def test_rl006_class_pair_surface_drift():
+    files = {
+        "src/repro/lob/matching.py": """
+        class MatchingEngine:
+            def submit(self, order): ...
+            def cancel(self, order_id): ...
+        """,
+        "src/repro/lob/array_matching.py": """
+        class ArrayMatchingEngine:
+            def submit(self, order): ...
+            def cancel(self, order_id): ...
+            def replay_ops(self, ops): ...
+            def bulk_cancel(self, ids): ...
+        """,
+    }
+    findings = findings_of(files, "RL006")
+    # replay_ops is an allowed asymmetry; bulk_cancel is drift.
+    assert any("bulk_cancel" in f.message for f in findings)
+    assert not any("replay_ops" in f.message for f in findings)
+
+
+def test_rl006_stats_keys_and_ctor_kwargs():
+    files = {
+        "src/repro/core/scheduler.py": """
+        class ScheduleDecision:
+            pass
+
+        class WorkloadScheduler:
+            def _sweep_reference(self, model, now, stats):
+                stats["considered"] += 1
+                stats["feasible"] += 1
+                return ScheduleDecision(point=1, batch_size=2)
+
+            def _sweep_vectorized(self, tables, now, stats):
+                stats["considered"] += 1
+                return ScheduleDecision(point=1)
+        """
+    }
+    findings = findings_of(files, "RL006")
+    assert any("'stats' keys diverge" in f.message for f in findings)
+    assert any("keyword sets diverge" in f.message for f in findings)
+
+
+def test_rl006_suppression_downgrades_finding():
+    drifted = BACKTEST_BOTH_SIDES.replace(
+        "    def _run_lighttrader_fast(self, queue):",
+        "    # repro-lint: disable=RL006\n"
+        "    def _run_lighttrader_fast(self, queue):",
+    ).replace(
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n",
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n"
+        "            elif kind is EventKind.RETRY:\n                pass\n",
+    )
+    model = model_of({"src/repro/sim/backtest.py": drifted})
+    findings = [f for f in project_rule_findings(model) if f.rule == "RL006"]
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_rl006_cli_exit_1_names_the_pair(tmp_path: Path):
+    """Acceptance: mutate one side of a parity pair on a synthetic tree;
+    ``python -m repro.lint`` exits 1 naming the pair."""
+    drifted = BACKTEST_BOTH_SIDES.replace(
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n",
+        "            elif kind is EventKind.ARRIVAL:\n                pass\n"
+        "            elif kind is EventKind.RETRY:\n                pass\n",
+    )
+    target = tmp_path / "src" / "repro" / "sim" / "backtest.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(drifted))
+
+    repo_root = Path(__file__).resolve().parent.parent
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src"],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(repo_root / "src"),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "RL006" in result.stdout
+    assert "backtest-lighttrader-loop" in result.stdout
+    assert "REPRO_FAST_LOOP" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# RL007 — RNG-stream discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_module_level_generator():
+    files = {
+        "src/repro/market/noise.py": """
+        import numpy as np
+
+        _RNG = np.random.default_rng(7)
+        """
+    }
+    findings = findings_of(files, "RL007")
+    assert any("module-level RNG construction" in f.message for f in findings)
+
+
+def test_rl007_unseeded_default_rng():
+    files = {
+        "src/repro/sim/jitter.py": """
+        import numpy as np
+
+        def jitter():
+            rng = np.random.default_rng()
+            return rng.random()
+        """
+    }
+    findings = findings_of(files, "RL007")
+    assert any("unseeded default_rng()" in f.message for f in findings)
+
+
+def test_rl007_reseed_mid_stream():
+    files = {
+        "src/repro/sim/jitter.py": """
+        import numpy as np
+
+        def jitter(seed):
+            rng = np.random.default_rng(seed)
+            a = rng.random()
+            rng = np.random.default_rng(seed + 1)
+            return a + rng.random()
+        """
+    }
+    findings = findings_of(files, "RL007")
+    assert any("rebound mid-stream" in f.message for f in findings)
+
+
+def test_rl007_creation_inside_loop():
+    files = {
+        "src/repro/sim/jitter.py": """
+        import numpy as np
+
+        def jitter(seeds):
+            total = 0.0
+            for seed in seeds:
+                gen = np.random.default_rng(seed)
+                total += gen.random()
+            return total
+        """
+    }
+    findings = findings_of(files, "RL007")
+    assert any("re-created inside a loop" in f.message for f in findings)
+
+
+def test_rl007_untracked_receiver():
+    files = {
+        "src/repro/sim/jitter.py": """
+        def jitter(model):
+            helper = model.helper
+            return helper.random()
+        """
+    }
+    findings = findings_of(files, "RL007")
+    assert any("does not descend" in f.message for f in findings)
+
+
+def test_rl007_sanctioned_idioms_are_clean():
+    files = {
+        "src/repro/sim/jitter.py": """
+        import numpy as np
+
+        def seeded(seed):
+            rng = np.random.default_rng(seed)
+            return rng.random()
+
+        def param(rng):
+            return rng.integers(0, 4)
+
+        def attr(self):
+            rng = self._rng
+            return rng.normal()
+        """
+    }
+    assert findings_of(files, "RL007") == []
+
+
+def test_rl007_out_of_scope_packages_exempt():
+    files = {
+        "src/repro/bench/fixture.py": """
+        import numpy as np
+
+        _RNG = np.random.default_rng(7)
+        """
+    }
+    assert findings_of(files, "RL007") == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 — fork/pool safety
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_parent_only_mutation_of_worker_read_global():
+    files = {
+        "src/repro/bench/runner.py": """
+        _TABLE = {}
+
+        def execute_run(spec):
+            return _TABLE.get(spec)
+
+        def warm(key, value):
+            _TABLE[key] = value
+        """
+    }
+    findings = findings_of(files, "RL008")
+    assert any(
+        "'_TABLE'" in f.message and "fork-time snapshot" in f.message
+        for f in findings
+    )
+
+
+def test_rl008_worker_side_mutator_is_clean():
+    files = {
+        "src/repro/bench/runner.py": """
+        _TABLE = {}
+
+        def execute_run(spec):
+            if spec not in _TABLE:
+                _TABLE[spec] = build(spec)
+            return _TABLE[spec]
+
+        def build(spec):
+            return spec
+        """
+    }
+    assert findings_of(files, "RL008") == []
+
+
+def test_rl008_import_time_registry_is_clean():
+    # Decorator-driven registries populate at import time in both the
+    # parent and the worker — not a fork hazard.
+    files = {
+        "src/repro/bench/runner.py": """
+        from repro.campaign.scenarios import scenario
+
+        def execute_run(spec):
+            return scenario(spec)
+        """,
+        "src/repro/campaign/scenarios.py": """
+        _SCENARIOS = {}
+
+        def register_scenario(name):
+            def wrap(fn):
+                _SCENARIOS[name] = fn
+                return fn
+            return wrap
+
+        def scenario(name):
+            return _SCENARIOS[name]
+
+        @register_scenario("flash_crash")
+        def flash_crash():
+            return 1
+        """,
+    }
+    assert findings_of(files, "RL008") == []
+
+
+def test_rl008_import_time_envcfg_read():
+    files = {
+        "src/repro/bench/fixture.py": """
+        from repro import envcfg
+
+        FAST = envcfg.get_bool("REPRO_FAST_LOOP")
+
+        def use():
+            return FAST
+        """
+    }
+    findings = findings_of(files, "RL008")
+    assert any(
+        "REPRO_FAST_LOOP" in f.message and "import time" in f.message
+        for f in findings
+    )
+
+
+def test_rl008_default_arg_envcfg_read():
+    files = {
+        "src/repro/bench/fixture.py": """
+        from repro import envcfg
+
+        def run(jobs=envcfg.get_int("REPRO_BENCH_JOBS")):
+            return jobs
+        """
+    }
+    findings = findings_of(files, "RL008")
+    assert any("REPRO_BENCH_JOBS" in f.message for f in findings)
+
+
+def test_rl008_function_body_envcfg_read_is_clean():
+    files = {
+        "src/repro/bench/fixture.py": """
+        from repro import envcfg
+
+        def run():
+            return envcfg.get_int("REPRO_BENCH_JOBS")
+        """
+    }
+    assert findings_of(files, "RL008") == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 — interprocedural unit dataflow
+# ---------------------------------------------------------------------------
+
+
+def test_rl009_arg_unit_vs_param_suffix():
+    files = {
+        "src/repro/core/fixture.py": """
+        def admit(deadline_ns):
+            return deadline_ns
+
+        def caller(cutoff_ms):
+            return admit(cutoff_ms)
+        """
+    }
+    findings = findings_of(files, "RL009")
+    assert any(
+        "[ms]" in f.message and "'deadline_ns' expects" in f.message
+        for f in findings
+    )
+
+
+def test_rl009_keyword_unit_mismatch():
+    files = {
+        "src/repro/core/fixture.py": """
+        def admit(deadline_ns=0):
+            return deadline_ns
+
+        def caller(cutoff_s):
+            return admit(deadline_ns=cutoff_s)
+        """
+    }
+    findings = findings_of(files, "RL009")
+    assert any("keyword 'deadline_ns'" in f.message for f in findings)
+
+
+def test_rl009_return_unit_flows_through_assignment():
+    # The callee's name carries no suffix: only its *body* knows it
+    # returns nanoseconds, so the verdict needs the resolved callee.
+    files = {
+        "src/repro/core/fixture.py": """
+        def window(cfg):
+            return cfg.span_ns
+
+        def caller(cfg, cutoff_s):
+            w = window(cfg)
+            return w + cutoff_s
+        """
+    }
+    findings = findings_of(files, "RL009")
+    assert any(
+        "window()" in f.message and "returns [ns]" in f.message
+        for f in findings
+    )
+
+
+def test_rl009_suffixed_callee_name_resolves_locally():
+    # A unit-suffixed callee name decides the mix without the project
+    # model — still an RL009 finding, extracted per file.
+    files = {
+        "src/repro/core/fixture.py": """
+        def caller(cfg, cutoff_s):
+            w = window_ns(cfg)
+            return w + cutoff_s
+        """
+    }
+    findings = findings_of(files, "RL009")
+    assert any("w [ns]" in f.message and "cutoff_s [s]" in f.message for f in findings)
+
+
+def test_rl009_name_suffix_vs_returned_unit():
+    files = {
+        "src/repro/core/fixture.py": """
+        def window_ns(cfg):
+            return cfg.span_ms
+        """
+    }
+    findings = findings_of(files, "RL009")
+    assert any(
+        "suffixed [ns] but returns [ms]" in f.message for f in findings
+    )
+
+
+def test_rl009_consistent_units_are_clean():
+    files = {
+        "src/repro/core/fixture.py": """
+        def admit(deadline_ns):
+            return deadline_ns
+
+        def window_ns(cfg):
+            return cfg.span_ns
+
+        def caller(cfg, cutoff_ns):
+            w = window_ns(cfg)
+            admit(cutoff_ns)
+            return w + cutoff_ns
+        """
+    }
+    assert findings_of(files, "RL009") == []
+
+
+def test_rl009_lexical_mix_stays_rl002():
+    # Both operands carry lexical suffixes: that is RL002's finding,
+    # not a duplicate RL009 one.
+    files = {
+        "src/repro/core/fixture.py": """
+        def caller(a_ns, b_s):
+            return a_ns + b_s
+        """
+    }
+    assert findings_of(files, "RL009") == []
+
+
+# ---------------------------------------------------------------------------
+# model plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_model_skips_modules_outside_repro():
+    model = model_of({"tests/fixture.py": "def f():\n    return 1\n"})
+    assert model.modules == {}
+
+
+def test_real_repo_is_project_clean():
+    repo_root = Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    facts = [
+        extract_facts(
+            build_context(p.read_text(), p.relative_to(repo_root).as_posix())
+        )
+        for p in sorted(src.rglob("*.py"))
+    ]
+    model = build_model(facts)
+    findings = [f for f in project_rule_findings(model) if not f.suppressed]
+    assert findings == [], [f.render() for f in findings]

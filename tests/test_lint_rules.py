@@ -39,8 +39,14 @@ def codes_of(findings: list[Finding]) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
-def test_registry_has_the_five_rules():
+def test_registry_has_the_per_file_rules():
     assert sorted(all_rules()) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+
+def test_registry_has_the_project_rules():
+    from repro.lint.project_rules import all_project_rules
+
+    assert sorted(all_project_rules()) == ["RL006", "RL007", "RL008", "RL009"]
 
 
 # ---------------------------------------------------------------------------
@@ -563,3 +569,127 @@ def test_repo_is_lint_clean():
         },
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ---------------------------------------------------------------------------
+# RL004 — decorator resolution and manifest addressing (PR 10 fixes)
+# ---------------------------------------------------------------------------
+
+
+def test_rl004_recognizes_aliased_hot_path_import():
+    findings = run(
+        """
+        from repro.hotpath import hot_path as hp
+
+        @hp
+        def step():
+            return [i for i in range(4)]
+        """,
+        path=SIM_PATH,
+    )
+    assert codes_of(findings) == ["RL004"]
+
+
+def test_rl004_recognizes_attribute_access_decorator():
+    findings = run(
+        """
+        import repro.hotpath as hotpath
+
+        @hotpath.hot_path
+        def step():
+            return f"{1}"
+        """,
+        path=SIM_PATH,
+    )
+    assert codes_of(findings) == ["RL004"]
+
+
+def test_rl004_manifest_dotted_module_addressing(monkeypatch):
+    import repro.hotpath as hotpath_mod
+
+    monkeypatch.setattr(
+        hotpath_mod,
+        "MANIFEST",
+        frozenset({"repro.sim.fixture::Collector.tick"}),
+    )
+    findings = run(
+        """
+        class Collector:
+            def tick(self):
+                return dict(a=1)
+        """,
+        path=SIM_PATH,
+    )
+    assert codes_of(findings) == ["RL004"]
+
+
+# ---------------------------------------------------------------------------
+# suppression edge cases (PR 10)
+# ---------------------------------------------------------------------------
+
+
+def test_multi_rule_disable_on_one_line():
+    findings = run(
+        """
+        from repro.hotpath import hot_path
+
+        @hot_path
+        def step(deadline_ns, horizon_s):
+            return deadline_ns + horizon_s + len([x for x in ()])  # repro-lint: disable=RL002,RL004
+        """,
+        path=SIM_PATH,
+    )
+    assert codes_of(findings) == []
+    suppressed = sorted({f.rule for f in findings if f.suppressed})
+    assert suppressed == ["RL002", "RL004"]
+
+
+def test_multi_rule_disable_only_silences_named_rules():
+    findings = run(
+        """
+        import time
+
+        def stamp(deadline_ns, horizon_s):
+            return deadline_ns + horizon_s + time.time()  # repro-lint: disable=RL002
+        """,
+        path=SIM_PATH,
+    )
+    # RL002 silenced, RL001 still visible on the same line.
+    assert codes_of(findings) == ["RL001"]
+    assert [f.rule for f in findings if f.suppressed] == ["RL002"]
+
+
+def test_file_disable_counts_in_stats(tmp_path: Path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "# repro-lint: file-disable=RL002\n"
+        "total = deadline_ns + horizon_s\n"
+        "more = a_ns + b_s\n"
+    )
+    stats_file = tmp_path / "stats.json"
+    # Everything suppressed -> exit 0, but --stats still records both.
+    assert lint_main([str(dirty), "--stats", str(stats_file)]) == 0
+    capsys.readouterr()
+    stats = json.loads(stats_file.read_text())
+    assert stats["rules"]["RL002"] == {"unsuppressed": 0, "suppressed": 2}
+    assert stats["total_unsuppressed"] == 0
+
+
+def test_strict_suppressions_flags_stale_directive(tmp_path: Path, capsys):
+    stale = tmp_path / "stale.py"
+    stale.write_text(
+        "# repro-lint: disable=RL001\n"
+        "x_ns = 1\n"
+    )
+    assert lint_main([str(stale)]) == 0
+    capsys.readouterr()
+    assert lint_main([str(stale), "--strict-suppressions"]) == 1
+    out = capsys.readouterr().out
+    assert "stale suppression" in out and "RL001" in out
+
+
+def test_strict_suppressions_keeps_live_directive(tmp_path: Path, capsys):
+    live = tmp_path / "live.py"
+    live.write_text("total = deadline_ns + horizon_s  # repro-lint: disable=RL002\n")
+    assert lint_main([str(live), "--strict-suppressions"]) == 0
+    capsys.readouterr()
